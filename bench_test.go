@@ -1,0 +1,171 @@
+// Package repro_test benchmarks the regeneration of every figure in the
+// paper's evaluation (Section 4, Figures 5–13). Each benchmark runs the
+// corresponding experiment end to end — workload generation, simulation,
+// agreement enforcement — on a coarsened workload (Scale 20, 6 proxies)
+// so a full -bench=. pass stays in the tens of seconds; cmd/proxysim runs
+// the same experiments at paper scale. Reported custom metrics carry each
+// figure's headline number so regressions in the *result* (not just the
+// runtime) are visible.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts is the coarse configuration shared by the figure benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 20, Proxies: 6, Warmup: 4 * 3600}
+}
+
+func maxOf(xs []float64) float64 {
+	worst := 0.0
+	for _, x := range xs {
+		if x > worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+// runFigure is the common driver: run the experiment b.N times and report
+// the headline metric extracted from the last result.
+func runFigure(b *testing.B, fig func(experiments.Options) (*experiments.Figure, error),
+	metric func(*experiments.Figure) (float64, string)) {
+	b.Helper()
+	var last *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := fig(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	if last != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkFig05NoSharing regenerates Figure 5 (the no-sharing baseline)
+// and reports the peak-slot average wait.
+func BenchmarkFig05NoSharing(b *testing.B) {
+	runFigure(b, experiments.Fig5, func(f *experiments.Figure) (float64, string) {
+		return maxOf(f.Series[1].Y), "peak-wait-s"
+	})
+}
+
+// BenchmarkFig06SharingSkew regenerates Figure 6 (sharing under stream
+// skews) and reports the worst slot at the largest gap.
+func BenchmarkFig06SharingSkew(b *testing.B) {
+	runFigure(b, experiments.Fig6, func(f *experiments.Figure) (float64, string) {
+		return maxOf(f.Series[len(f.Series)-1].Y), "gap3600-peak-wait-s"
+	})
+}
+
+// BenchmarkFig07CapacitySweep regenerates Figure 7 (capacity needed to
+// match sharing) and reports the no-sharing mean at 1.5x capacity.
+func BenchmarkFig07CapacitySweep(b *testing.B) {
+	runFigure(b, experiments.Fig7, func(f *experiments.Figure) (float64, string) {
+		return f.Series[1].Y[len(f.Series[1].Y)-1], "alone-1.5x-mean-wait-s"
+	})
+}
+
+// BenchmarkFig08TransitivityComplete regenerates Figure 8 (levels on the
+// complete graph) and reports the level-1 worst slot.
+func BenchmarkFig08TransitivityComplete(b *testing.B) {
+	runFigure(b, experiments.Fig8, func(f *experiments.Figure) (float64, string) {
+		return maxOf(f.Series[0].Y), "level1-peak-wait-s"
+	})
+}
+
+// loopOpts uses the paper's 10 proxies: the loop skips of Figures 10–11
+// must be coprime with the proxy count.
+func loopOpts() experiments.Options {
+	o := benchOpts()
+	o.Proxies = 10
+	return o
+}
+
+// runLoopFigure is runFigure with the 10-proxy loop options.
+func runLoopFigure(b *testing.B, fig func(experiments.Options) (*experiments.Figure, error),
+	metric func(*experiments.Figure) (float64, string)) {
+	b.Helper()
+	var last *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := fig(loopOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	if last != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkFig09LoopSkip1 regenerates Figure 9 (loop, neighbor 1 h away)
+// and reports the ratio of level-1 to full-transitivity worst waits — the
+// figure's central claim.
+func BenchmarkFig09LoopSkip1(b *testing.B) {
+	runLoopFigure(b, experiments.Fig9, func(f *experiments.Figure) (float64, string) {
+		full := maxOf(f.Series[len(f.Series)-1].Y)
+		if full == 0 {
+			return 0, "level1-over-full"
+		}
+		return maxOf(f.Series[0].Y) / full, "level1-over-full"
+	})
+}
+
+// BenchmarkFig10LoopSkip3 regenerates Figure 10 (loop, neighbor 3 h away).
+func BenchmarkFig10LoopSkip3(b *testing.B) {
+	runLoopFigure(b, experiments.Fig10, func(f *experiments.Figure) (float64, string) {
+		return maxOf(f.Series[0].Y), "level1-peak-wait-s"
+	})
+}
+
+// BenchmarkFig11LoopSkip7 regenerates Figure 11 (loop, neighbor 7 h away).
+func BenchmarkFig11LoopSkip7(b *testing.B) {
+	runLoopFigure(b, experiments.Fig11, func(f *experiments.Figure) (float64, string) {
+		return maxOf(f.Series[0].Y), "level1-peak-wait-s"
+	})
+}
+
+// BenchmarkFig12RedirectionCost regenerates Figure 12 (redirection cost
+// sweep) and reports the relative mean-wait increase from zero cost to
+// double the average service time.
+func BenchmarkFig12RedirectionCost(b *testing.B) {
+	runFigure(b, experiments.Fig12, func(f *experiments.Figure) (float64, string) {
+		base := meanOf(f.Series[0].Y)
+		costly := meanOf(f.Series[2].Y)
+		if base == 0 {
+			return 0, "cost-penalty-ratio"
+		}
+		return costly / base, "cost-penalty-ratio"
+	})
+}
+
+// BenchmarkFig13LPvsEndpoint regenerates Figure 13 (LP scheme vs endpoint
+// proportional scheme) and reports the endpoint/LP worst-slot ratio.
+func BenchmarkFig13LPvsEndpoint(b *testing.B) {
+	runFigure(b, experiments.Fig13, func(f *experiments.Figure) (float64, string) {
+		lp := maxOf(f.Series[0].Y)
+		if lp == 0 {
+			return 0, "endpoint-over-lp"
+		}
+		return maxOf(f.Series[1].Y) / lp, "endpoint-over-lp"
+	})
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

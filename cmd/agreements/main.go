@@ -1,0 +1,94 @@
+// Command agreements inspects a JSON agreements snapshot (the format
+// cmd/grmd -agreements loads): it validates the file, prints every
+// currency's value and every principal's transitive capacity per resource
+// type, and flags overdrawn currencies.
+//
+// Usage:
+//
+//	agreements community.json
+//	agreements -level 1 community.json     # direct agreements only
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		level  = flag.Int("level", 0, "transitivity level (0 = full closure)")
+		approx = flag.Bool("approx", false, "use matrix-power approximation")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: agreements [-level N] <snapshot.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+		os.Exit(1)
+	}
+	snap, err := agreement.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+		os.Exit(1)
+	}
+	sys, principals, err := snap.Restore()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(principals))
+	for name := range principals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d principals: %v\n", len(names), names)
+
+	if err := sys.CheckConservative(); err != nil {
+		if errors.Is(err, agreement.ErrOverdraft) {
+			fmt.Printf("warning: %v\n", err)
+			fmt.Println("         (legal overdraft; enforcement caps it at 100% per source)")
+		} else {
+			fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	types := sys.ResourceTypes()
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, typ := range types {
+		fmt.Printf("\nresource %q:\n", typ)
+		values, err := sys.Values(typ)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agreements: valuation: %v\n", err)
+			os.Exit(1)
+		}
+		m, err := sys.Matrices(typ)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+			os.Exit(1)
+		}
+		planner, err := core.NewAllocator(m.S, m.A, core.Config{Level: *level, Approx: *approx})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
+			os.Exit(1)
+		}
+		caps := planner.Capacities(m.V)
+		fmt.Printf("  %-16s %12s %12s %12s\n", "principal", "owned", "value", "capacity")
+		for _, name := range names {
+			p := principals[name]
+			fmt.Printf("  %-16s %12.4g %12.4g %12.4g\n",
+				name, m.V[p], values[sys.CurrencyOf(p)], caps[p])
+		}
+	}
+}

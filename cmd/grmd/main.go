@@ -1,0 +1,88 @@
+// Command grmd runs a Global Resource Manager: the centralized scheduler
+// that stores sharing agreements and allocates resources for LRMs
+// (cmd/lrmd) over TCP.
+//
+// Usage:
+//
+//	grmd -listen :7070 -level 0
+//	grmd -listen :7071 -parent host:7070 -name cluster-east
+//
+// With -parent, the GRM attaches to a higher-level GRM as one aggregated
+// principal, realizing the paper's multi-level GRM architecture.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/grm"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7070", "address to listen on")
+		level      = flag.Int("level", 0, "transitivity level (0 = full closure)")
+		approx     = flag.Bool("approx", false, "use matrix-power approximation for flow coefficients")
+		parent     = flag.String("parent", "", "optional parent GRM address for multi-level operation")
+		name       = flag.String("name", "cluster", "cluster name when attaching to a parent")
+		agreements = flag.String("agreements", "", "JSON agreements snapshot to preload (see internal/agreement.Snapshot)")
+		status     = flag.String("status", "", "optional HTTP address serving the JSON status view (e.g. :8080)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "grmd ", log.LstdFlags)
+	server := grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
+
+	if *agreements != "" {
+		f, err := os.Open(*agreements)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+			os.Exit(1)
+		}
+		snap, err := agreement.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := server.LoadSnapshot(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Printf("listening on %s (level=%d approx=%v)", l.Addr(), *level, *approx)
+
+	if *status != "" {
+		go func() {
+			logger.Printf("status endpoint on http://%s/", *status)
+			if err := http.ListenAndServe(*status, server); err != nil {
+				logger.Printf("status endpoint: %v", err)
+			}
+		}()
+	}
+
+	if *parent != "" {
+		if err := server.AttachParent(*parent, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Printf("attached to parent GRM at %s as %q", *parent, *name)
+	}
+
+	if err := server.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command lpsolve solves a linear program written in the library's small
+// text format and prints the optimum — a direct command-line face for the
+// internal simplex solver.
+//
+// Usage:
+//
+//	lpsolve problem.lp
+//	echo 'min: 2x + 3y
+//	c1: x + y >= 4' | lpsolve
+//
+// Format: one objective line ("min:" or "max:"), named constraints
+// ("name: expr <= rhs"), optional bounds lines ("0 <= x <= 10") and free
+// declarations ("free z"). See internal/lp.ParseModel for details.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lp"
+)
+
+func main() {
+	duals := flag.Bool("duals", false, "also print constraint shadow prices")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "lpsolve: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpsolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	m, err := lp.ParseModel(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpsolve: %v\n", err)
+		os.Exit(1)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpsolve: %v\n", err)
+		os.Exit(1)
+	}
+	if err := lp.WriteSolution(os.Stdout, m, sol); err != nil {
+		fmt.Fprintf(os.Stderr, "lpsolve: %v\n", err)
+		os.Exit(1)
+	}
+	if *duals {
+		for i := 0; i < m.NumConstraints(); i++ {
+			fmt.Printf("dual %s = %.9g\n", m.ConstraintName(i), sol.Dual(i))
+		}
+	}
+	fmt.Printf("pivots = %d\n", sol.Pivots)
+}

@@ -1,0 +1,105 @@
+// Command lrmd runs a demo Local Resource Manager against a GRM
+// (cmd/grmd): it registers a principal with some capacity, optionally
+// creates sharing agreements, periodically reports availability, and can
+// fire a one-shot allocation request — a minimal command-line face for
+// the LRM client library.
+//
+// Usage:
+//
+//	lrmd -grm localhost:7070 -name siteA -capacity 100
+//	lrmd -grm localhost:7070 -name siteB -capacity 50 -share 0:0.3
+//	lrmd -grm localhost:7070 -name siteC -capacity 0 -alloc 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/grm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("grm", "localhost:7070", "GRM address")
+		name     = flag.String("name", "site", "principal name")
+		capacity = flag.Float64("capacity", 100, "resource capacity to register")
+		share    = flag.String("share", "", "comma-separated agreements principal:fraction (e.g. 0:0.3,2:0.1)")
+		alloc    = flag.Float64("alloc", 0, "one-shot allocation request, then exit")
+		report   = flag.Duration("report", 0, "if set, keep reporting availability at this interval")
+	)
+	flag.Parse()
+
+	lrm, err := grm.Dial(*addr, *name, *capacity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmd: %v\n", err)
+		os.Exit(1)
+	}
+	defer lrm.Close()
+	fmt.Printf("registered %q as principal %d\n", *name, lrm.Principal())
+
+	if *share != "" {
+		for _, part := range strings.Split(*share, ",") {
+			to, frac, err := parseShare(part)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrmd: %v\n", err)
+				os.Exit(2)
+			}
+			ticket, err := lrm.ShareRelative(to, frac)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrmd: share: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sharing %.0f%% with principal %d (ticket %d)\n", frac*100, to, ticket)
+		}
+	}
+
+	if *alloc > 0 {
+		reply, err := lrm.Allocate(*alloc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmd: allocate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("allocated %g (theta %.4g):\n", *alloc, reply.Theta)
+		names, err := lrm.Peers()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmd: peers: %v\n", err)
+			os.Exit(1)
+		}
+		for i, take := range reply.Takes {
+			if take > 0 {
+				fmt.Printf("  %g from %s (principal %d)\n", take, names[i], i)
+			}
+		}
+		return
+	}
+
+	if *report > 0 {
+		for {
+			time.Sleep(*report)
+			if err := lrm.Report(*capacity); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmd: report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func parseShare(s string) (int, float64, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -share entry %q (want principal:fraction)", s)
+	}
+	to, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad principal in %q: %v", s, err)
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad fraction in %q: %v", s, err)
+	}
+	return to, frac, nil
+}

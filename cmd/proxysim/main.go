@@ -1,0 +1,129 @@
+// Command proxysim regenerates the figures of the paper's evaluation
+// (Section 4, Figures 5–13) from the reproduced system and prints each as
+// a text report: the headline numbers followed by the plotted series as
+// tab-separated columns.
+//
+// Usage:
+//
+//	proxysim                  # all figures at paper scale
+//	proxysim -figure 9        # a single figure
+//	proxysim -scale 20        # coarsened workload (~20x faster)
+//	proxysim -proxies 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "figure number to regenerate (5-13); 0 means all")
+		scale   = flag.Float64("scale", 1, "workload coarsening factor (1 = paper scale)")
+		proxies = flag.Int("proxies", 10, "number of cooperating proxies")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		warmup  = flag.Float64("warmup", 6*3600, "warmup seconds before the reported 24h window")
+		csvDir  = flag.String("csv", "", "also write each figure's series as <dir>/<fig>.tsv")
+		seeds   = flag.String("seeds", "", "comma-separated seed list: replicate the figure and report peak mean±std")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:   *scale,
+		Proxies: *proxies,
+		Seed:    *seed,
+		Warmup:  *warmup,
+	}
+
+	table := map[int]func(experiments.Options) (*experiments.Figure, error){
+		5: experiments.Fig5, 6: experiments.Fig6, 7: experiments.Fig7,
+		8: experiments.Fig8, 9: experiments.Fig9, 10: experiments.Fig10,
+		11: experiments.Fig11, 12: experiments.Fig12, 13: experiments.Fig13,
+		// 14 is the outage-failover extension (no paper counterpart).
+		14: experiments.ExtOutage,
+	}
+
+	emit := func(fig *experiments.Figure) {
+		if err := experiments.Render(os.Stdout, fig); err != nil {
+			fmt.Fprintf(os.Stderr, "proxysim: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeTSV(*csvDir, fig); err != nil {
+				fmt.Fprintf(os.Stderr, "proxysim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *figure != 0 {
+		f, ok := table[*figure]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "proxysim: no figure %d (the paper has figures 5-13)\n", *figure)
+			os.Exit(2)
+		}
+		if *seeds != "" {
+			runReplicated(f, opts, *seeds)
+			return
+		}
+		fig, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxysim: %v\n", err)
+			os.Exit(1)
+		}
+		emit(fig)
+		return
+	}
+
+	figs, err := experiments.All(opts)
+	for _, fig := range figs {
+		emit(fig)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxysim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runReplicated sweeps the figure across seeds and prints peak mean±std
+// per series.
+func runReplicated(f func(experiments.Options) (*experiments.Figure, error), opts experiments.Options, list string) {
+	var seedList []int64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxysim: bad seed %q\n", part)
+			os.Exit(2)
+		}
+		seedList = append(seedList, v)
+	}
+	reps, err := experiments.Replicate(f, opts, seedList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxysim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("peak values across %d seeds:\n", len(seedList))
+	for _, r := range reps {
+		fmt.Printf("  %-24s %10.3f ± %.3f (cv %.1f%%)\n", r.Label, r.PeakMean, r.PeakStd, 100*r.Spread())
+	}
+}
+
+// writeTSV dumps a figure's series as a tab-separated file.
+func writeTSV(dir string, fig *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fig.ID+".tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.Render(f, fig)
+}

@@ -1,0 +1,75 @@
+// Quickstart: express the sharing agreements of the paper's Example 1
+// (Figure 1) and enforce an allocation against them.
+//
+// Four principals: A owns 10 TB of disk and B owns 15 TB. A shares an
+// absolute 3 TB with C and a relative 50% with B; B shares 60% with D.
+// The program prints every currency's value (matching the paper's
+// numbers), every principal's transitive capacity, and then asks the
+// enforcement engine where principal B should draw 18 TB from.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sharing"
+)
+
+func main() {
+	c := sharing.NewCommunity()
+	a := c.AddPrincipal("A")
+	b := c.AddPrincipal("B")
+	cc := c.AddPrincipal("C")
+	d := c.AddPrincipal("D")
+
+	check(c.AddResource(a, "disk", 10))
+	check(c.AddResource(b, "disk", 15))
+
+	if _, err := c.ShareQuantity(a, cc, "disk", 3); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareFraction(a, b, 0.5); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareFraction(b, d, 0.6); err != nil {
+		log.Fatal(err)
+	}
+
+	values, err := c.Values("disk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("currency values (paper's Example 1: A=10, B=20, C=3, D=12):")
+	for _, p := range []sharing.Principal{a, b, cc, d} {
+		fmt.Printf("  %s: %.1f TB\n", c.Name(p), values[p])
+	}
+
+	caps, err := c.Capacities("disk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransitive capacities C_i:")
+	for _, p := range []sharing.Principal{a, b, cc, d} {
+		fmt.Printf("  %s: %.1f TB\n", c.Name(p), caps[p])
+	}
+
+	plan, err := c.Allocate(b, "disk", 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nallocating 18 TB for B (minimizing the perturbation metric θ):")
+	for i, take := range plan.Take {
+		if take > 0 {
+			fmt.Printf("  %.2f TB from %s\n", take, c.Name(sharing.Principal(i)))
+		}
+	}
+	fmt.Printf("  θ = %.2f TB (largest capacity drop inflicted on another principal)\n", plan.Theta)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

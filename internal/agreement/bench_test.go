@@ -1,0 +1,74 @@
+package agreement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation bench: direct linear-solve valuation vs Gauss–Seidel iteration
+// (DESIGN.md calls this choice out). Direct is O(n³) but exact; iteration
+// is O(edges) per sweep and converges geometrically on contractive
+// systems.
+
+func benchSystem(n int) *System {
+	rng := rand.New(rand.NewSource(3))
+	return randomSystem(rng, n)
+}
+
+func BenchmarkValuesDirect20(b *testing.B) {
+	s := benchSystem(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Values(disk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValuesDirect100(b *testing.B) {
+	s := benchSystem(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Values(disk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValuesIterative20(b *testing.B) {
+	s := benchSystem(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ValuesIterative(disk, 10000, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValuesIterative100(b *testing.B) {
+	s := benchSystem(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ValuesIterative(disk, 10000, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrices20(b *testing.B) {
+	s := benchSystem(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Matrices(disk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildComplete10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildComplete(10, General, 1, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package agreement
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the JSON-serializable form of a System: the durable
+// expression of who owns what and who agreed to share what. A GRM loads
+// one at startup (cmd/grmd -agreements) and operators keep them in
+// version control.
+type Snapshot struct {
+	Principals []PrincipalSnapshot `json:"principals"`
+	Currencies []CurrencySnapshot  `json:"currencies,omitempty"`
+	Resources  []ResourceSnapshot  `json:"resources"`
+	Agreements []AgreementSnapshot `json:"agreements"`
+}
+
+// PrincipalSnapshot declares one participant.
+type PrincipalSnapshot struct {
+	Name string `json:"name"`
+	// FaceValue optionally overrides the default currency's face value.
+	FaceValue float64 `json:"faceValue,omitempty"`
+}
+
+// CurrencySnapshot declares one virtual currency.
+type CurrencySnapshot struct {
+	Name string `json:"name"`
+	// Source is the funding currency: a principal name or a previously
+	// declared virtual currency name.
+	Source string `json:"source"`
+	// Units of the source currency funding this one.
+	Units     float64 `json:"units"`
+	FaceValue float64 `json:"faceValue"`
+}
+
+// ResourceSnapshot declares capacity owned by a principal.
+type ResourceSnapshot struct {
+	Name     string  `json:"name"`
+	Type     string  `json:"type"`
+	Owner    string  `json:"owner"`
+	Capacity float64 `json:"capacity"`
+}
+
+// AgreementSnapshot declares one ticket between currencies. From/To name
+// principals or virtual currencies. Exactly one of Fraction (relative
+// share of the issuer) or Quantity (absolute amount of Type) must be set.
+type AgreementSnapshot struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Fraction float64 `json:"fraction,omitempty"`
+	Quantity float64 `json:"quantity,omitempty"`
+	Type     string  `json:"type,omitempty"`
+	Granting bool    `json:"granting,omitempty"`
+}
+
+// Snapshot captures the live (non-revoked) state of the system in a form
+// Restore can rebuild. Virtual currencies and their funding tickets are
+// emitted as currency declarations, not agreements.
+func (s *System) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	curName := make([]string, len(s.currencies))
+	for _, p := range s.principals {
+		snap.Principals = append(snap.Principals, PrincipalSnapshot{
+			Name:      p.Name,
+			FaceValue: s.currencies[p.Currency].FaceValue,
+		})
+		curName[p.Currency] = p.Name
+	}
+	// Virtual currencies appear after their sources in creation order, so
+	// a single pass preserves dependency order.
+	fundedBy := map[CurrencyID]Ticket{}
+	for _, t := range s.tickets {
+		if t.Revoked || t.Issuer < 0 {
+			continue
+		}
+		if s.currencies[t.Backs].Kind == Virtual && t.Kind == Relative {
+			if _, seen := fundedBy[t.Backs]; !seen {
+				fundedBy[t.Backs] = t
+			}
+		}
+	}
+	for _, c := range s.currencies {
+		if c.Kind != Virtual {
+			continue
+		}
+		curName[c.ID] = c.Name
+		fund, ok := fundedBy[c.ID]
+		if !ok {
+			continue // dangling virtual currency; worth nothing, skip
+		}
+		snap.Currencies = append(snap.Currencies, CurrencySnapshot{
+			Name:      c.Name,
+			Source:    curName[fund.Issuer],
+			Units:     fund.Face,
+			FaceValue: c.FaceValue,
+		})
+	}
+	for _, r := range s.resources {
+		if s.tickets[r.Ticket].Revoked {
+			continue
+		}
+		snap.Resources = append(snap.Resources, ResourceSnapshot{
+			Name:     r.Name,
+			Type:     string(r.Type),
+			Owner:    s.principals[r.Owner].Name,
+			Capacity: r.Capacity,
+		})
+	}
+	for _, t := range s.tickets {
+		if t.Revoked || t.Issuer < 0 {
+			continue
+		}
+		// Skip the funding tickets already represented as currencies.
+		if s.currencies[t.Backs].Kind == Virtual && t.Kind == Relative {
+			if f, ok := fundedBy[t.Backs]; ok && f.ID == t.ID {
+				continue
+			}
+		}
+		a := AgreementSnapshot{
+			From:     curName[t.Issuer],
+			To:       curName[t.Backs],
+			Granting: t.Mode == Granting,
+		}
+		if t.Kind == Relative {
+			a.Fraction = t.Face / s.currencies[t.Issuer].FaceValue
+		} else {
+			a.Quantity = t.Face
+			a.Type = string(t.Type)
+		}
+		snap.Agreements = append(snap.Agreements, a)
+	}
+	return snap
+}
+
+// WriteJSON serializes the snapshot with indentation.
+func (snap *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ReadSnapshot parses a snapshot from JSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("agreement: parse snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// Restore builds a fresh System from a snapshot. It returns the system
+// plus a name→principal index for callers that address principals by
+// name.
+func (snap *Snapshot) Restore() (*System, map[string]PrincipalID, error) {
+	s := NewSystem()
+	principals := map[string]PrincipalID{}
+	currencies := map[string]CurrencyID{}
+	for _, p := range snap.Principals {
+		if p.Name == "" {
+			return nil, nil, fmt.Errorf("agreement: snapshot: principal with empty name")
+		}
+		if _, dup := principals[p.Name]; dup {
+			return nil, nil, fmt.Errorf("agreement: snapshot: duplicate principal %q", p.Name)
+		}
+		id := s.AddPrincipal(p.Name)
+		principals[p.Name] = id
+		currencies[p.Name] = s.CurrencyOf(id)
+		if p.FaceValue != 0 {
+			if err := s.Inflate(s.CurrencyOf(id), p.FaceValue); err != nil {
+				return nil, nil, fmt.Errorf("agreement: snapshot: principal %q: %w", p.Name, err)
+			}
+		}
+	}
+	for _, c := range snap.Currencies {
+		src, ok := currencies[c.Source]
+		if !ok {
+			return nil, nil, fmt.Errorf("agreement: snapshot: currency %q funded by unknown %q", c.Name, c.Source)
+		}
+		if _, dup := currencies[c.Name]; dup {
+			return nil, nil, fmt.Errorf("agreement: snapshot: duplicate currency %q", c.Name)
+		}
+		id, err := s.NewVirtualCurrency(c.Name, src, c.Units, c.FaceValue)
+		if err != nil {
+			return nil, nil, fmt.Errorf("agreement: snapshot: currency %q: %w", c.Name, err)
+		}
+		currencies[c.Name] = id
+	}
+	for _, r := range snap.Resources {
+		owner, ok := principals[r.Owner]
+		if !ok {
+			return nil, nil, fmt.Errorf("agreement: snapshot: resource %q owned by unknown %q", r.Name, r.Owner)
+		}
+		if _, err := s.AddResource(r.Name, ResourceType(r.Type), owner, r.Capacity); err != nil {
+			return nil, nil, fmt.Errorf("agreement: snapshot: resource %q: %w", r.Name, err)
+		}
+	}
+	for i, a := range snap.Agreements {
+		from, ok := currencies[a.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d from unknown %q", i, a.From)
+		}
+		to, ok := currencies[a.To]
+		if !ok {
+			return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d to unknown %q", i, a.To)
+		}
+		switch {
+		case a.Fraction > 0 && a.Quantity == 0:
+			if a.Granting {
+				return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d: relative grants are not defined", i)
+			}
+			units := a.Fraction * s.Currency(from).FaceValue
+			if _, err := s.ShareRelative(from, to, units); err != nil {
+				return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d: %w", i, err)
+			}
+		case a.Quantity > 0 && a.Fraction == 0:
+			mode := Sharing
+			if a.Granting {
+				mode = Granting
+			}
+			if _, err := s.ShareAbsolute(from, to, ResourceType(a.Type), a.Quantity, mode); err != nil {
+				return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d: %w", i, err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d needs exactly one of fraction or quantity", i)
+		}
+	}
+	return s, principals, nil
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/transitive"
+)
+
+// ErrInsufficient is wrapped by Plan when the requester's capacity C_A is
+// smaller than the requested amount.
+var ErrInsufficient = errors.New("core: insufficient capacity for request")
+
+// Planner is the common interface of the LP allocator and the baseline
+// schemes: decide where to take `amount` units for `requester` given the
+// current per-principal capacities v.
+type Planner interface {
+	// Plan returns the allocation for a request, or ErrInsufficient.
+	Plan(v []float64, requester int, amount float64) (*Allocation, error)
+	// Capacities returns C_i for every principal at availability v.
+	Capacities(v []float64) []float64
+}
+
+// Allocation is the outcome of planning one request.
+type Allocation struct {
+	// Take[i] is the amount drawn from principal i's resources
+	// (V_i − V'_i ≥ 0); it sums to the requested amount.
+	Take []float64
+	// NewV[i] is the post-allocation availability V'_i.
+	NewV []float64
+	// Theta is the realized max capacity perturbation across the
+	// non-requesting principals (the LP objective; recomputed exactly for
+	// baseline planners too).
+	Theta float64
+}
+
+// Config tunes the LP allocator.
+type Config struct {
+	// Level is the transitivity level m: 1 enforces only direct
+	// agreements, n−1 (or 0, meaning "full") the complete closure.
+	Level int
+	// Approx switches the flow coefficients to the matrix-power
+	// approximation (walks instead of simple paths). Default exact.
+	Approx bool
+	// Faithful keeps the paper's full n²+n+1-variable LP instead of the
+	// substituted n+1-variable formulation. Results are identical; this
+	// exists for validation and the ablation bench.
+	Faithful bool
+	// KeepRequesterConstraint applies eq. 6 to the requester as well,
+	// exactly as printed in the paper. See the package comment for why
+	// that makes the optimum non-discriminating; off by default.
+	KeepRequesterConstraint bool
+	// LPMethod selects the simplex implementation (lp.Tableau by
+	// default; lp.Revised pays off on large sparse agreement graphs).
+	LPMethod lp.Method
+}
+
+// Allocator enforces sharing agreements by linear programming. It is
+// immutable after construction and safe for concurrent use.
+type Allocator struct {
+	n   int
+	s   [][]float64 // relative agreements (kept for reporting)
+	a   [][]float64 // absolute agreements (may be nil)
+	k   [][]float64 // capped flow coefficients K^(level)
+	cfg Config
+	// conn[i] is a connectivity weight used for deterministic
+	// tie-breaking: how much of i's capacity other principals can reach.
+	conn []float64
+}
+
+// NewAllocator builds an allocator from a relative agreement matrix S and
+// an optional absolute agreement matrix A (nil for none). The transitive
+// flow coefficients are computed once here — they depend only on S and the
+// level, not on the fluctuating capacities.
+func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) {
+	if err := transitive.Validate(s); err != nil {
+		return nil, err
+	}
+	n := len(s)
+	if a != nil {
+		if len(a) != n {
+			return nil, fmt.Errorf("core: A is %d×?, S is %d×%d", len(a), n, n)
+		}
+		for i, row := range a {
+			if len(row) != n {
+				return nil, fmt.Errorf("core: A row %d has %d entries, want %d", i, len(row), n)
+			}
+			for j, x := range row {
+				if x < 0 {
+					return nil, fmt.Errorf("core: A[%d][%d] = %g, must be non-negative", i, j, x)
+				}
+			}
+		}
+	}
+	level := cfg.Level
+	if level <= 0 {
+		level = n - 1
+	}
+	var t [][]float64
+	if cfg.Approx {
+		t = transitive.Approx(s, level)
+	} else {
+		// Exact enumeration is exponential on dense graphs; refuse
+		// plainly instead of hanging (a dense 20-principal graph has
+		// ~10^17 cycle-free chains). The budget admits the paper's
+		// complete 10-principal graph at full closure (~10M steps,
+		// ~100 ms) but rejects dense graphs of 11+ principals.
+		const exactBudget = 50_000_000
+		if !transitive.WithinBudget(s, level, exactBudget) {
+			return nil, fmt.Errorf("core: exact transitive closure would exceed %d steps for this agreement graph; set Config.Approx or lower Config.Level", exactBudget)
+		}
+		t = transitive.Exact(s, level)
+	}
+	k := transitive.Cap(t)
+	al := &Allocator{n: n, s: s, a: a, k: k, cfg: cfg, conn: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				al.conn[i] += k[i][j]
+			}
+		}
+	}
+	return al, nil
+}
+
+// N returns the number of principals.
+func (al *Allocator) N() int { return al.n }
+
+// FlowCoefficients returns the capped transitive coefficients K in use
+// (row i: the fraction of i's capacity reachable by each principal).
+func (al *Allocator) FlowCoefficients() [][]float64 {
+	out := make([][]float64, al.n)
+	for i := range out {
+		out[i] = append([]float64(nil), al.k[i]...)
+	}
+	return out
+}
+
+// Capacities returns C_i = V_i + Σ_k U_ki for the current availability.
+func (al *Allocator) Capacities(v []float64) []float64 {
+	al.checkV(v)
+	return transitive.Capacities(v, al.k, al.a)
+}
+
+// sourceCap returns U_iA: how much of principal i's current availability
+// the requester may draw.
+func (al *Allocator) sourceCap(v []float64, i, requester int) float64 {
+	if i == requester {
+		return v[i]
+	}
+	u := v[i] * al.k[i][requester]
+	if al.a != nil {
+		u += al.a[i][requester]
+	}
+	if u > v[i] {
+		u = v[i]
+	}
+	return u
+}
+
+// Plan chooses the allocation minimizing the maximum capacity perturbation
+// θ across the other principals (the paper's global metric), subject to
+// the agreement-derived per-source caps. It returns ErrInsufficient
+// (wrapped, with the shortfall) if C_requester < amount.
+func (al *Allocator) Plan(v []float64, requester int, amount float64) (*Allocation, error) {
+	al.checkV(v)
+	if requester < 0 || requester >= al.n {
+		panic(fmt.Sprintf("core: requester %d out of range [0,%d)", requester, al.n))
+	}
+	if amount < 0 {
+		return nil, fmt.Errorf("core: negative request %g", amount)
+	}
+	caps := al.Capacities(v)
+	if caps[requester] < amount-1e-9 {
+		return nil, fmt.Errorf("%w: principal %d has capacity %g, requested %g",
+			ErrInsufficient, requester, caps[requester], amount)
+	}
+	if amount == 0 {
+		return &Allocation{Take: make([]float64, al.n), NewV: append([]float64(nil), v...)}, nil
+	}
+	if al.cfg.Faithful {
+		return al.planFaithful(v, requester, amount, caps)
+	}
+	return al.planSubstituted(v, requester, amount, caps)
+}
+
+// planSubstituted builds the n+1-variable LP: variables V'_i and θ.
+func (al *Allocator) planSubstituted(v []float64, requester int, amount float64, caps []float64) (*Allocation, error) {
+	n := al.n
+	m := lp.NewModel(lp.Minimize)
+
+	// Tie-breaking: prefer drawing from weakly connected sources, whose
+	// capacity matters least to everyone else. V'_i enters the objective
+	// with −ε·conn_i so that *keeping* well-connected capacity is
+	// rewarded.
+	const eps = 1e-6
+	vp := make([]lp.VarID, n)
+	for i := 0; i < n; i++ {
+		hi := v[i]
+		lo := v[i] - al.sourceCap(v, i, requester)
+		if lo < 0 {
+			lo = 0
+		}
+		vp[i] = m.AddVar(fmt.Sprintf("V'_%d", i), lo, hi, -eps*al.conn[i])
+	}
+	theta := m.AddVar("theta", 0, lp.Inf, 1)
+
+	// Σ V'_i = Σ V_i − amount  (eq. 5).
+	var totalV float64
+	sumTerms := make([]lp.Term, n)
+	for i := 0; i < n; i++ {
+		totalV += v[i]
+		sumTerms[i] = lp.Term{Var: vp[i], Coeff: 1}
+	}
+	m.AddConstraint("consume", sumTerms, lp.EQ, totalV-amount)
+
+	// C'_i ≥ C_i − θ for the non-requesting principals (eq. 6; see the
+	// package comment for the requester treatment). When absolute
+	// agreements are present, min(V'_k·K_ki + A_ki, V'_k) is linearized
+	// with auxiliary variables u_ki (its superlevel set is convex).
+	for i := 0; i < n; i++ {
+		if i == requester && !al.cfg.KeepRequesterConstraint {
+			continue
+		}
+		terms := []lp.Term{{Var: vp[i], Coeff: 1}, {Var: theta, Coeff: 1}}
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			hasAbs := al.a != nil && al.a[k][i] > 0
+			if !hasAbs {
+				if al.k[k][i] != 0 {
+					terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][i]})
+				}
+				continue
+			}
+			u := m.AddVar(fmt.Sprintf("u_%d_%d", k, i), 0, lp.Inf, 0)
+			m.AddConstraint(fmt.Sprintf("cap_flow_%d_%d", k, i),
+				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -al.k[k][i]}}, lp.LE, al.a[k][i])
+			m.AddConstraint(fmt.Sprintf("cap_own_%d_%d", k, i),
+				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -1}}, lp.LE, 0)
+			terms = append(terms, lp.Term{Var: u, Coeff: 1})
+		}
+		m.AddConstraint(fmt.Sprintf("perturb_%d", i), terms, lp.GE, caps[i])
+	}
+	if al.cfg.KeepRequesterConstraint {
+		// eq. 3: C'_A = C_A − x, expressed on the same linearization.
+		terms := []lp.Term{{Var: vp[requester], Coeff: 1}}
+		for k := 0; k < n; k++ {
+			if k == requester {
+				continue
+			}
+			if al.k[k][requester] != 0 {
+				terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][requester]})
+			}
+		}
+		m.AddConstraint("requester_drop", terms, lp.GE, caps[requester]-amount)
+	}
+
+	sol, err := m.SolveWith(al.cfg.LPMethod)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocation LP failed: %w", err)
+	}
+	return al.allocationFrom(v, requester, amount, sol, vp, caps)
+}
+
+// allocationFrom converts an LP solution over V' variables into an
+// Allocation, cleaning round-off and recomputing θ exactly.
+func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, sol *lp.Solution, vp []lp.VarID, caps []float64) (*Allocation, error) {
+	n := al.n
+	out := &Allocation{Take: make([]float64, n), NewV: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		nv := sol.Value(vp[i])
+		if nv < 0 {
+			nv = 0
+		}
+		if nv > v[i] {
+			nv = v[i]
+		}
+		out.NewV[i] = nv
+		out.Take[i] = v[i] - nv
+	}
+	normalizeTakes(out, v, amount)
+	out.Theta = al.realizedTheta(v, out.NewV, requester, caps)
+	return out, nil
+}
+
+// realizedTheta recomputes max_{i≠requester} (C_i − C'_i) from first
+// principles (including the exact min-caps the LP linearized).
+func (al *Allocator) realizedTheta(v, newV []float64, requester int, caps []float64) float64 {
+	after := transitive.Capacities(newV, al.k, al.a)
+	worst := 0.0
+	for i := range v {
+		if i == requester {
+			continue
+		}
+		if d := caps[i] - after[i]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// normalizeTakes removes round-off so that ΣTake == amount exactly: tiny
+// negative takes are zeroed and the largest take absorbs the residual.
+func normalizeTakes(a *Allocation, v []float64, amount float64) {
+	var sum float64
+	maxIdx := 0
+	for i := range a.Take {
+		if a.Take[i] < 1e-12 {
+			a.Take[i] = 0
+			a.NewV[i] = v[i]
+		}
+		sum += a.Take[i]
+		if a.Take[i] > a.Take[maxIdx] {
+			maxIdx = i
+		}
+	}
+	resid := amount - sum
+	if resid != 0 && a.Take[maxIdx]+resid >= 0 {
+		a.Take[maxIdx] += resid
+		a.NewV[maxIdx] = v[maxIdx] - a.Take[maxIdx]
+	}
+}
+
+func (al *Allocator) checkV(v []float64) {
+	if len(v) != al.n {
+		panic(fmt.Sprintf("core: got %d capacities for %d principals", len(v), al.n))
+	}
+	for i, x := range v {
+		if x < 0 || math.IsNaN(x) {
+			panic(fmt.Sprintf("core: capacity V[%d] = %g invalid", i, x))
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out: the
+// substituted n+1-variable LP vs the paper's literal n²+n+1-variable
+// formulation, the LP scheme vs the cheaper baselines, and flat vs
+// hierarchical (multi-grid) planning.
+
+func benchScenario(n int) (s [][]float64, v []float64) {
+	rng := rand.New(rand.NewSource(11))
+	s = make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j {
+				s[i][j] = 0.5 / float64(n-1)
+			}
+		}
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = 50 + rng.Float64()*50
+	}
+	return
+}
+
+func benchPlan(b *testing.B, planner Planner, v []float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(v, 0, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanSubstituted10(b *testing.B) {
+	s, v := benchScenario(10)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+func BenchmarkPlanFaithful10(b *testing.B) {
+	s, v := benchScenario(10)
+	al, err := NewAllocator(s, nil, Config{Faithful: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+// The 30-principal variants use the matrix-power approximation: exact
+// simple-path enumeration on a dense 30-node graph is astronomically
+// exponential (that cliff is exactly what the transitive ablation bench
+// demonstrates).
+func BenchmarkPlanSubstituted30(b *testing.B) {
+	s, v := benchScenario(30)
+	al, err := NewAllocator(s, nil, Config{Approx: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+func BenchmarkPlanFaithful30(b *testing.B) {
+	s, v := benchScenario(30)
+	al, err := NewAllocator(s, nil, Config{Faithful: true, Approx: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+func BenchmarkPlanGreedy10(b *testing.B) {
+	s, v := benchScenario(10)
+	g, err := NewGreedy(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, g, v)
+}
+
+func BenchmarkPlanProportional10(b *testing.B) {
+	s, v := benchScenario(10)
+	p, err := NewProportional(s, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, p, v)
+}
+
+func BenchmarkPlanFlat40(b *testing.B) {
+	s, v := benchScenario(40)
+	al, err := NewAllocator(s, nil, Config{Approx: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+func BenchmarkPlanHierarchy40(b *testing.B) {
+	s, v := benchScenario(40)
+	groups := make([][]int, 8)
+	for g := range groups {
+		for k := 0; k < 5; k++ {
+			groups[g] = append(groups[g], g*5+k)
+		}
+	}
+	h, err := NewHierarchy(s, nil, groups, Config{Approx: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Force the coarse path: drain the home group.
+	drained := append([]float64(nil), v...)
+	for _, p := range groups[0] {
+		drained[p] = 1
+	}
+	b.ResetTimer()
+	benchPlan(b, h, drained)
+}
+
+func BenchmarkNewAllocator10(b *testing.B) {
+	s, _ := benchScenario(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAllocator(s, nil, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCapacities10(b *testing.B) {
+	s, v := benchScenario(10)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Capacities(v)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func newTestLedger(t *testing.T) *Ledger {
+	t.Helper()
+	// Principal 1 shares 50% with 0.
+	al, err := NewAllocator([][]float64{{0, 0}, {0.5, 0}}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(al, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLedgerAcquireRelease(t *testing.T) {
+	l := newTestLedger(t)
+	lease, err := l.Acquire(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Outstanding() != 1 {
+		t.Errorf("Outstanding = %d", l.Outstanding())
+	}
+	var total float64
+	for _, take := range lease.Take {
+		total += take
+	}
+	almost(t, total, 15, 1e-6, "lease takes")
+	avail := l.Available()
+	almost(t, avail[0]+avail[1], 15, 1e-6, "remaining availability")
+
+	if err := l.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	avail = l.Available()
+	almost(t, avail[0], 10, 1e-6, "restored availability 0")
+	almost(t, avail[1], 20, 1e-6, "restored availability 1")
+	if err := l.Release(lease.ID); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestLedgerInsufficient(t *testing.T) {
+	l := newTestLedger(t)
+	// C_0 = 10 + 10 = 20.
+	if _, err := l.Acquire(0, 25); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+	// Drain and verify the pool shrinks for the next caller: after taking
+	// 18, at most 12 remain with principal 1, of which 0 may use half.
+	if _, err := l.Acquire(0, 18); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire(0, 7); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("second acquire should fail (capacity is now 6), got %v", err)
+	}
+}
+
+func TestLedgerSetCapacity(t *testing.T) {
+	l := newTestLedger(t)
+	if err := l.SetCapacity(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	caps := l.Capacities()
+	almost(t, caps[0], 30, 1e-6, "C_0 after capacity raise")
+	if err := l.SetCapacity(1, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := l.SetCapacity(9, 1); err == nil {
+		t.Error("unknown principal accepted")
+	}
+}
+
+func TestLedgerCapacityShrinkWithLeases(t *testing.T) {
+	l := newTestLedger(t)
+	lease, err := l.Acquire(0, 15) // takes 10 from 0 and 5 from 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Principal 1's machine shrinks to 5 while 5 are leased out.
+	if err := l.SetCapacity(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	avail := l.Available()
+	if avail[1] < 0 {
+		t.Errorf("availability went negative: %v", avail)
+	}
+	// Releasing must not exceed the new capacity.
+	if err := l.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	avail = l.Available()
+	if avail[1] > 5+1e-9 {
+		t.Errorf("availability %g exceeds shrunk capacity 5", avail[1])
+	}
+}
+
+func TestLedgerConcurrentAcquireRelease(t *testing.T) {
+	n := 8
+	s := make([][]float64, n)
+	v := make([]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		v[i] = 100
+		for j := range s[i] {
+			if i != j {
+				s[i][j] = 0.5 / float64(n-1)
+			}
+		}
+	}
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(al, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				lease, err := l.Acquire(p, 10)
+				if err != nil {
+					continue // pool temporarily drained; fine
+				}
+				if err := l.Release(lease.ID); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Outstanding() != 0 {
+		t.Errorf("leaked %d leases", l.Outstanding())
+	}
+	avail := l.Available()
+	for i, a := range avail {
+		if math.Abs(a-100) > 1e-6 {
+			t.Errorf("availability[%d] = %g, want 100 restored", i, a)
+		}
+	}
+}
+
+func TestLedgerOutstandingFor(t *testing.T) {
+	l := newTestLedger(t)
+	a, err := l.Acquire(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, l.OutstandingFor(0), 3, 1e-12, "outstanding for 0")
+	almost(t, l.OutstandingFor(1), 4, 1e-12, "outstanding for 1")
+	if err := l.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, l.OutstandingFor(0), 0, 1e-12, "after release")
+}
+
+func TestNewLedgerValidation(t *testing.T) {
+	al, err := NewAllocator([][]float64{{0, 0}, {0, 0}}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLedger(al, []float64{-1, 2}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multi plans requests that span several resource types at once
+// (Section 3.2: "a request for k types of resources is in the form of a
+// vector <r_1, ..., r_k>; we solve k linear systems, one per resource").
+// Each type has its own agreement matrices and its own Planner; a request
+// either plans every type or fails atomically.
+type Multi struct {
+	planners map[string]Planner
+	n        int
+}
+
+// NewMulti returns an empty multi-resource planner for n principals.
+func NewMulti(n int) *Multi {
+	return &Multi{planners: map[string]Planner{}, n: n}
+}
+
+// AddType registers the agreement matrices for one resource type.
+func (mu *Multi) AddType(name string, s, a [][]float64, cfg Config) error {
+	if _, dup := mu.planners[name]; dup {
+		return fmt.Errorf("core: resource type %q already registered", name)
+	}
+	if len(s) != mu.n {
+		return fmt.Errorf("core: type %q has %d principals, planner has %d", name, len(s), mu.n)
+	}
+	al, err := NewAllocator(s, a, cfg)
+	if err != nil {
+		return err
+	}
+	mu.planners[name] = al
+	return nil
+}
+
+// Types returns the registered resource type names, sorted.
+func (mu *Multi) Types() []string {
+	out := make([]string, 0, len(mu.planners))
+	for t := range mu.planners {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plan allocates a multi-type request: request[t] units of each type t for
+// the requester, given availability v[t] per type. If any type cannot be
+// satisfied the whole request fails and nothing is reported as allocated.
+func (mu *Multi) Plan(v map[string][]float64, requester int, request map[string]float64) (map[string]*Allocation, error) {
+	// Deterministic order, and validation before any planning.
+	types := make([]string, 0, len(request))
+	for t := range request {
+		if _, ok := mu.planners[t]; !ok {
+			return nil, fmt.Errorf("core: unknown resource type %q in request", t)
+		}
+		if _, ok := v[t]; !ok {
+			return nil, fmt.Errorf("core: no availability vector for type %q", t)
+		}
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	out := make(map[string]*Allocation, len(types))
+	for _, t := range types {
+		alloc, err := mu.planners[t].Plan(v[t], requester, request[t])
+		if err != nil {
+			return nil, fmt.Errorf("core: type %q: %w", t, err)
+		}
+		out[t] = alloc
+	}
+	return out, nil
+}
+
+// Capacities returns C_i per registered type.
+func (mu *Multi) Capacities(v map[string][]float64) (map[string][]float64, error) {
+	out := make(map[string][]float64, len(mu.planners))
+	for t, p := range mu.planners {
+		vec, ok := v[t]
+		if !ok {
+			return nil, fmt.Errorf("core: no availability vector for type %q", t)
+		}
+		out[t] = p.Capacities(vec)
+	}
+	return out, nil
+}
+
+// Coupled plans requests for resources that must be allocated together
+// from the same principal (Section 3.2's CPU+memory example): the
+// component types are bound into a bundle with fixed per-bundle rates, and
+// the bundle is allocated as a single new resource type.
+type Coupled struct {
+	alloc *Allocator
+	rates map[string]float64
+	types []string
+}
+
+// NewCoupled builds a bundle planner. rates gives the amount of each
+// component type consumed per bundle unit (all positive); s and a are the
+// agreement matrices governing the bundle (the paper treats the bound
+// combination as a new resource type with its own agreements).
+func NewCoupled(s, a [][]float64, cfg Config, rates map[string]float64) (*Coupled, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("core: NewCoupled: empty rate table")
+	}
+	types := make([]string, 0, len(rates))
+	for t, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("core: NewCoupled: rate for %q is %g, must be positive", t, r)
+		}
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	al, err := NewAllocator(s, a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Coupled{alloc: al, rates: rates, types: types}, nil
+}
+
+// BundleAvailability converts per-type availability into per-principal
+// bundle counts: the number of whole-rate bundles each principal can
+// supply is limited by its scarcest component.
+func (c *Coupled) BundleAvailability(v map[string][]float64) ([]float64, error) {
+	n := c.alloc.N()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for _, t := range c.types {
+		vec, ok := v[t]
+		if !ok {
+			return nil, fmt.Errorf("core: no availability vector for component %q", t)
+		}
+		if len(vec) != n {
+			return nil, fmt.Errorf("core: component %q has %d principals, want %d", t, len(vec), n)
+		}
+		for i, x := range vec {
+			if b := x / c.rates[t]; b < out[i] {
+				out[i] = b
+			}
+		}
+	}
+	return out, nil
+}
+
+// Plan allocates `bundles` coupled units for the requester and expands the
+// result into per-component takes. Every component of a bundle comes from
+// the same principal by construction.
+func (c *Coupled) Plan(v map[string][]float64, requester int, bundles float64) (map[string]*Allocation, error) {
+	avail, err := c.BundleAvailability(v)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := c.alloc.Plan(avail, requester, bundles)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Allocation, len(c.types))
+	for _, t := range c.types {
+		a := &Allocation{
+			Take:  make([]float64, len(plan.Take)),
+			NewV:  make([]float64, len(plan.Take)),
+			Theta: plan.Theta,
+		}
+		for i := range plan.Take {
+			a.Take[i] = plan.Take[i] * c.rates[t]
+			a.NewV[i] = v[t][i] - a.Take[i]
+		}
+		out[t] = a
+	}
+	return out, nil
+}

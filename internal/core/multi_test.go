@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMultiPlan(t *testing.T) {
+	// Two types with different agreement structures.
+	sCPU := [][]float64{{0, 0}, {0.5, 0}}
+	sDisk := [][]float64{{0, 0}, {0.8, 0}}
+	mu := NewMulti(2)
+	if err := mu.AddType("cpu", sCPU, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.AddType("disk", sDisk, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	v := map[string][]float64{
+		"cpu":  {2, 10},
+		"disk": {1, 10},
+	}
+	plans, err := mu.Plan(v, 0, map[string]float64{"cpu": 5, "disk": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuSum, diskSum float64
+	for _, x := range plans["cpu"].Take {
+		cpuSum += x
+	}
+	for _, x := range plans["disk"].Take {
+		diskSum += x
+	}
+	almost(t, cpuSum, 5, 1e-6, "cpu total")
+	almost(t, diskSum, 7, 1e-6, "disk total")
+}
+
+func TestMultiPlanAtomicFailure(t *testing.T) {
+	s := [][]float64{{0, 0}, {0.5, 0}}
+	mu := NewMulti(2)
+	if err := mu.AddType("cpu", s, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.AddType("disk", s, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	v := map[string][]float64{
+		"cpu":  {10, 10},
+		"disk": {0, 1}, // disk capacity for 0 is 0 + 0.5 = 0.5 < 3
+	}
+	_, err := mu.Plan(v, 0, map[string]float64{"cpu": 1, "disk": 3})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestMultiErrors(t *testing.T) {
+	mu := NewMulti(2)
+	s := [][]float64{{0, 0}, {0.5, 0}}
+	if err := mu.AddType("cpu", s, nil, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.AddType("cpu", s, nil, Config{}); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if err := mu.AddType("bad", [][]float64{{0}}, nil, Config{}); err == nil {
+		t.Error("wrong-size matrix accepted")
+	}
+	if _, err := mu.Plan(map[string][]float64{}, 0, map[string]float64{"gpu": 1}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := mu.Plan(map[string][]float64{}, 0, map[string]float64{"cpu": 1}); err == nil {
+		t.Error("missing availability accepted")
+	}
+	if _, err := mu.Capacities(map[string][]float64{}); err == nil {
+		t.Error("missing availability accepted in Capacities")
+	}
+	if got := mu.Types(); len(got) != 2 || got[0] != "bad" && got[0] != "cpu" {
+		// "bad" failed to register, so only cpu remains.
+		if len(got) != 1 || got[0] != "cpu" {
+			t.Errorf("Types = %v", got)
+		}
+	}
+}
+
+func TestCoupledPlan(t *testing.T) {
+	// A bundle consumes 2 cpu + 1 mem. Principal 1 shares 100% with 0.
+	s := [][]float64{{0, 0}, {1, 0}}
+	c, err := NewCoupled(s, nil, Config{}, map[string]float64{"cpu": 2, "mem": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := map[string][]float64{
+		"cpu": {4, 20},
+		"mem": {10, 5},
+	}
+	// Bundle availability: p0 = min(4/2, 10/1) = 2; p1 = min(10, 5) = 5.
+	b, err := c.BundleAvailability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, b[0], 2, 1e-12, "bundles at 0")
+	almost(t, b[1], 5, 1e-12, "bundles at 1")
+
+	plans, err := c.Plan(v, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components must be proportional per principal: cpu take = 2×mem take.
+	for i := 0; i < 2; i++ {
+		almost(t, plans["cpu"].Take[i], 2*plans["mem"].Take[i], 1e-9, "coupled ratio")
+	}
+	var bundles float64
+	for i := 0; i < 2; i++ {
+		bundles += plans["mem"].Take[i]
+	}
+	almost(t, bundles, 6, 1e-6, "bundle total")
+	// Principal 0 can contribute at most 2 bundles.
+	if plans["mem"].Take[0] > 2+1e-9 {
+		t.Errorf("principal 0 contributed %g bundles, cap 2", plans["mem"].Take[0])
+	}
+}
+
+func TestCoupledInsufficient(t *testing.T) {
+	s := [][]float64{{0, 0}, {1, 0}}
+	c, err := NewCoupled(s, nil, Config{}, map[string]float64{"cpu": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := map[string][]float64{"cpu": {1, 1}}
+	if _, err := c.Plan(v, 0, 5); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestCoupledValidation(t *testing.T) {
+	s := [][]float64{{0, 0}, {1, 0}}
+	if _, err := NewCoupled(s, nil, Config{}, nil); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := NewCoupled(s, nil, Config{}, map[string]float64{"cpu": -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	c, err := NewCoupled(s, nil, Config{}, map[string]float64{"cpu": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BundleAvailability(map[string][]float64{}); err == nil {
+		t.Error("missing component accepted")
+	}
+	if _, err := c.BundleAvailability(map[string][]float64{"cpu": {1}}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestHierarchyFastPathStaysLocal(t *testing.T) {
+	// Two groups of two; requester's own group has plenty.
+	s := complete(4, 0.5)
+	h, err := NewHierarchy(s, nil, [][]int{{0, 1}, {2, 3}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{10, 10, 10, 10}
+	plan, err := h.Plan(v, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, plan.Take[2]+plan.Take[3], 0, 1e-9, "no cross-group takes")
+	almost(t, plan.Take[0]+plan.Take[1], 8, 1e-6, "local takes")
+}
+
+func TestHierarchyCrossGroup(t *testing.T) {
+	s := complete(4, 0.5)
+	h, err := NewHierarchy(s, nil, [][]int{{0, 1}, {2, 3}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home group nearly empty; must pull from group 1.
+	v := []float64{1, 2, 10, 10}
+	plan, err := h.Plan(v, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, x := range plan.Take {
+		total += x
+	}
+	almost(t, total, 8, 1e-6, "total take")
+	if plan.Take[2]+plan.Take[3] < 4 {
+		t.Errorf("expected most take from group 1, got %v", plan.Take)
+	}
+	// Caps: at full transitivity the complete 0.5-graph reaches K=1, so
+	// member 1 can contribute its whole availability of 2 but no more.
+	if plan.Take[1] > 2+1e-6 {
+		t.Errorf("take[1] = %g exceeds agreement cap 2", plan.Take[1])
+	}
+}
+
+func TestHierarchyMatchesFlatFeasibility(t *testing.T) {
+	s := complete(6, 0.3)
+	h, err := NewHierarchy(s, nil, [][]int{{0, 1, 2}, {3, 4, 5}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{2, 2, 2, 8, 8, 8}
+	hp, err := h.Plan(v, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := flat.Plan(v, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must respect per-source caps and sum to 9; hierarchy's θ may be
+	// modestly worse (it is an approximation).
+	var hSum, fSum float64
+	for i := range v {
+		hSum += hp.Take[i]
+		fSum += fp.Take[i]
+		if cap := flat.sourceCap(v, i, 0); hp.Take[i] > cap+1e-6 && i != 0 {
+			t.Errorf("hierarchy take[%d] = %g exceeds cap %g", i, hp.Take[i], cap)
+		}
+	}
+	almost(t, hSum, 9, 1e-6, "hierarchy total")
+	almost(t, fSum, 9, 1e-6, "flat total")
+	if hp.Theta < fp.Theta-1e-6 {
+		t.Errorf("hierarchy theta %g beats flat optimum %g: flat LP is not optimal?", hp.Theta, fp.Theta)
+	}
+}
+
+func TestHierarchyInsufficient(t *testing.T) {
+	s := complete(4, 0.1)
+	h, err := NewHierarchy(s, nil, [][]int{{0, 1}, {2, 3}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Plan([]float64{1, 1, 1, 1}, 0, 50); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	s := complete(4, 0.1)
+	cases := [][][]int{
+		{{0, 1}},             // principal uncovered
+		{{0, 1}, {1, 2, 3}},  // overlap
+		{{0, 1}, {}, {2, 3}}, // empty group
+		{{0, 1}, {2, 9}},     // out of range
+	}
+	for i, groups := range cases {
+		if _, err := NewHierarchy(s, nil, groups, Config{}); err == nil {
+			t.Errorf("case %d: invalid grouping accepted", i)
+		}
+	}
+}
+
+func TestProportionalIgnoresAvailability(t *testing.T) {
+	// Principals 1 and 2 share equally with 0; 1 is drained. The
+	// proportional scheme still sends half the request to 1 — that is its
+	// defining flaw, so assert it.
+	s := [][]float64{
+		{0, 0, 0},
+		{0.5, 0, 0},
+		{0.5, 0, 0},
+	}
+	p, err := NewProportional(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0, 0.5, 100}
+	plan, err := p.Plan(v, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half of the request goes to the drained source regardless of its
+	// availability — the endpoint scheme is availability-blind, which is
+	// exactly the flaw Figure 13 demonstrates.
+	almost(t, plan.Take[1], 5, 1e-9, "take aimed at drained source")
+	almost(t, plan.Take[2], 5, 1e-9, "take from healthy source")
+	almost(t, plan.Take[0], 0, 1e-9, "nothing stays home")
+}
+
+func TestProportionalOwnFirst(t *testing.T) {
+	s := [][]float64{{0, 0}, {0.5, 0}}
+	p, err := NewProportional(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan([]float64{10, 10}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, plan.Take[0], 6, 1e-9, "own resources cover it")
+	almost(t, plan.Take[1], 0, 1e-9, "nothing redirected")
+}
+
+func TestGreedyTakesFromLargestHeadroom(t *testing.T) {
+	s := [][]float64{
+		{0, 0, 0},
+		{1, 0, 0},
+		{1, 0, 0},
+	}
+	g, err := NewGreedy(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0, 3, 9}
+	plan, err := g.Plan(v, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, plan.Take[2], 5, 1e-9, "greedy drains the largest source")
+	almost(t, plan.Take[1], 0, 1e-9, "smaller source untouched")
+}
+
+func TestGreedyInsufficient(t *testing.T) {
+	s := [][]float64{{0, 0}, {0.5, 0}}
+	g, err := NewGreedy(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Plan([]float64{1, 2}, 0, 10); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestGreedyRespectsCaps(t *testing.T) {
+	s := [][]float64{{0, 0}, {0.4, 0}}
+	g, err := NewGreedy(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.Plan([]float64{2, 10}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Take[1] > 4+1e-9 {
+		t.Errorf("greedy took %g from source 1, cap is 4", plan.Take[1])
+	}
+	almost(t, plan.Take[0]+plan.Take[1], 6, 1e-9, "total")
+}
+
+func complete(n int, share float64) [][]float64 {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j {
+				s[i][j] = share
+			}
+		}
+	}
+	return s
+}
+
+func TestProportionalAbsoluteWeights(t *testing.T) {
+	s := [][]float64{{0, 0}, {0, 0}}
+	a := [][]float64{{0, 0}, {5, 0}}
+	p, err := NewProportional(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan([]float64{0, 10}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Take[1] <= 0 {
+		t.Errorf("absolute agreement should attract redirection, got %v", plan.Take)
+	}
+	var sum float64
+	for _, x := range plan.Take {
+		sum += x
+	}
+	almost(t, sum, 4, 1e-9, "total")
+}
+
+func TestPlannersSatisfyInterface(t *testing.T) {
+	// Compile-time checks live in baselines.go; this exercises the
+	// dynamic path through the interface.
+	var planners []Planner
+	s := complete(3, 0.2)
+	al, _ := NewAllocator(s, nil, Config{})
+	pr, _ := NewProportional(s, nil)
+	gr, _ := NewGreedy(s, nil, Config{})
+	hi, _ := NewHierarchy(s, nil, [][]int{{0}, {1}, {2}}, Config{})
+	planners = append(planners, al, pr, gr, hi)
+	v := []float64{5, 5, 5}
+	for i, p := range planners {
+		if p == nil {
+			t.Fatalf("planner %d is nil", i)
+		}
+		caps := p.Capacities(v)
+		if len(caps) != 3 {
+			t.Errorf("planner %d: capacities %v", i, caps)
+		}
+		plan, err := p.Plan(v, 0, 2)
+		if err != nil {
+			t.Errorf("planner %d: %v", i, err)
+			continue
+		}
+		var sum float64
+		for _, x := range plan.Take {
+			sum += x
+		}
+		if math.Abs(sum-2) > 1e-6 {
+			t.Errorf("planner %d: takes sum to %g", i, sum)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastOpts shrinks the workload and proxy count so each figure runs in
+// well under a second. The shape assertions below are correspondingly
+// loose; the full-scale reproduction lives in cmd/proxysim and
+// EXPERIMENTS.md.
+func fastOpts() Options {
+	// Scale 20 is the coarsest workload that still shows the paper's
+	// level-separation effects; 50 blurs them (per-request work grows to
+	// minutes and the scheduler horizon covers only ~20 requests).
+	return Options{Scale: 20, Proxies: 6, Warmup: 4 * 3600}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig, err := Fig5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	waits := fig.Series[1].Y
+	// Overload near the peak, idle mid-day.
+	if maxOf(waits) < 5 {
+		t.Errorf("no-sharing peak wait %g too small", maxOf(waits))
+	}
+	reqs := fig.Series[0].Y
+	if maxOf(reqs) == 0 {
+		t.Error("no requests recorded")
+	}
+}
+
+func TestFig6GapHelps(t *testing.T) {
+	fig, err := Fig6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 gap series, got %d", len(fig.Series))
+	}
+	// Larger gaps must reduce ISP0's worst slot wait: compare gap 0 to
+	// gap 3600.
+	worst0 := maxOf(fig.Series[0].Y)
+	worst3600 := maxOf(fig.Series[3].Y)
+	if worst3600 > worst0 {
+		t.Errorf("gap 3600 worst %g should not exceed gap 0 worst %g", worst3600, worst0)
+	}
+}
+
+func TestFig7CapacityCrossover(t *testing.T) {
+	fig, err := Fig7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	share, alone := fig.Series[0], fig.Series[1]
+	// Sharing at 1.0x must beat no-sharing at 1.0x.
+	if share.Y[0] >= alone.Y[0] {
+		t.Errorf("sharing %g should beat no-sharing %g at unit capacity", share.Y[0], alone.Y[0])
+	}
+	// No-sharing improves with capacity.
+	if alone.Y[len(alone.Y)-1] >= alone.Y[0] {
+		t.Errorf("no-sharing wait should fall with capacity: %v", alone.Y)
+	}
+}
+
+func TestFig9LevelSeparation(t *testing.T) {
+	fig, err := Fig9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 1 (series 0) must be clearly worse than the full level
+	// (last series) on the skip-1 loop.
+	lvl1 := maxOf(fig.Series[0].Y)
+	full := maxOf(fig.Series[len(fig.Series)-1].Y)
+	if full > lvl1*0.75 {
+		t.Errorf("full transitivity worst %g not well below level-1 %g", full, lvl1)
+	}
+}
+
+func TestFig12CostsSmall(t *testing.T) {
+	fig, err := Fig12(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 cost series, got %d", len(fig.Series))
+	}
+	// The paper's claim: redirection cost has small impact. Allow a loose
+	// factor to keep the scaled-down test stable.
+	base := maxOf(fig.Series[0].Y)
+	costly := maxOf(fig.Series[2].Y)
+	if costly > 3*base+5 {
+		t.Errorf("redirect cost blew up waits: %g vs %g", costly, base)
+	}
+}
+
+func TestFig13LPBeatsEndpoint(t *testing.T) {
+	fig, err := Fig13(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := maxOf(fig.Series[0].Y)
+	prop := maxOf(fig.Series[1].Y)
+	if lp > prop {
+		t.Errorf("LP worst slot %g should not exceed endpoint scheme %g", lp, prop)
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig := &Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series:  []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Summary: []string{"headline"},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "headline", "a", "3.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1 || o.Proxies != 10 || o.Warmup != 6*3600 || o.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestFig10And11Run(t *testing.T) {
+	// Loop skips 3 and 7 need a coprime proxy count; use the paper's 10
+	// at a very coarse scale just to exercise the path.
+	o := Options{Scale: 20, Proxies: 10, Warmup: 4 * 3600}
+	for name, f := range map[string]func(Options) (*Figure, error){
+		"fig10": Fig10, "fig11": Fig11,
+	} {
+		fig, err := f(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(fig.Series) != 4 {
+			t.Errorf("%s: %d series, want 4", name, len(fig.Series))
+		}
+		// Level 1 on distant-neighbor loops is already effective: it must
+		// be far below the no-sharing regime (hundreds of seconds).
+		if worst := maxOf(fig.Series[0].Y); worst > 150 {
+			t.Errorf("%s: level-1 worst %g looks unshared", name, worst)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-figures run is slow")
+	}
+	figs, err := All(Options{Scale: 50, Proxies: 4, Warmup: 4 * 3600})
+	// Loop skips 3 and 7 cannot form a single loop with 4 proxies, so an
+	// error is expected partway — but the figures before it must exist.
+	if err == nil {
+		t.Log("All completed without error (unexpected but fine)")
+	}
+	if len(figs) < 4 {
+		t.Errorf("All returned only %d figures before failing", len(figs))
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	o := Options{Scale: 50, Proxies: 3, Warmup: 2 * 3600}
+	reps, err := Replicate(Fig5, o, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 { // requests + waits series
+		t.Fatalf("got %d replications, want 2", len(reps))
+	}
+	for _, r := range reps {
+		if len(r.Peaks) != 3 {
+			t.Errorf("%s: %d peaks, want 3", r.Label, len(r.Peaks))
+		}
+		if r.PeakMean <= 0 {
+			t.Errorf("%s: zero mean peak", r.Label)
+		}
+	}
+	// Different seeds must actually vary the workload.
+	w := reps[0]
+	if w.Peaks[0] == w.Peaks[1] && w.Peaks[1] == w.Peaks[2] {
+		t.Error("peaks identical across seeds; seeding not wired through")
+	}
+	if s := w.Spread(); s < 0 || s > 1 {
+		t.Errorf("implausible spread %g", s)
+	}
+}
+
+func TestExtOutageFailover(t *testing.T) {
+	fig, err := ExtOutage(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(fig.Series))
+	}
+	noShare := maxOf(fig.Series[0].Y)
+	fullShare := maxOf(fig.Series[2].Y)
+	if fullShare > noShare*0.5 {
+		t.Errorf("failover worst %g not well below stranded %g", fullShare, noShare)
+	}
+}

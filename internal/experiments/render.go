@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a figure as a text report: the summary lines the paper's
+// prose quotes, then the series as aligned columns (x, then one column per
+// series), suitable for piping into a plotting tool.
+func Render(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	for _, s := range fig.Summary {
+		if _, err := fmt.Fprintf(w, "   %s\n", s); err != nil {
+			return err
+		}
+	}
+	if len(fig.Series) == 0 {
+		return nil
+	}
+	// Header.
+	cols := make([]string, 0, len(fig.Series)+1)
+	cols = append(cols, fig.XLabel)
+	for _, s := range fig.Series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	// All series of a figure share X by construction; use the longest
+	// defensively.
+	n := 0
+	for _, s := range fig.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(fig.Series)+1)
+		x := ""
+		for _, s := range fig.Series {
+			if i < len(s.X) {
+				x = fmt.Sprintf("%.3f", s.X[i])
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Replication summarizes one series' peak value across seed replications
+// of a figure — the reproduction's error bars. The paper reports single
+// trace-driven runs; with a synthetic workload we can do better and show
+// that the headline effects are not artifacts of one random stream.
+type Replication struct {
+	Label    string
+	Peaks    []float64 // one per seed, in seed order
+	PeakMean float64
+	PeakStd  float64
+}
+
+// Replicate runs a figure function once per seed and aggregates each
+// series' peak Y value. All other options are taken from o.
+func Replicate(fig func(Options) (*Figure, error), o Options, seeds []int64) ([]Replication, error) {
+	var out []Replication
+	for run, seed := range seeds {
+		opts := o
+		opts.Seed = seed
+		f, err := fig(opts)
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range f.Series {
+			if run == 0 {
+				out = append(out, Replication{Label: s.Label})
+			}
+			out[si].Peaks = append(out[si].Peaks, maxOf(s.Y))
+		}
+	}
+	for i := range out {
+		var w metrics.Welford
+		for _, p := range out[i].Peaks {
+			w.Add(p)
+		}
+		out[i].PeakMean = w.Mean()
+		out[i].PeakStd = w.Std()
+	}
+	return out, nil
+}
+
+// Spread returns the coefficient of variation (std/mean) of the peaks, 0
+// for a zero mean.
+func (r Replication) Spread() float64 {
+	if r.PeakMean == 0 {
+		return 0
+	}
+	return math.Abs(r.PeakStd / r.PeakMean)
+}

@@ -1,0 +1,156 @@
+package grm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// LRM is a Local Resource Manager: the client side of the GRM protocol.
+// It registers a principal, reports availability, manages agreements and
+// requests allocations. An LRM is safe for concurrent use; requests on
+// one connection are serialized.
+type LRM struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	principal int
+	name      string
+}
+
+// Dial connects to a GRM and registers a principal with the given starting
+// capacity.
+func Dial(addr, name string, capacity float64) (*LRM, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("grm: dial %s: %w", addr, err)
+	}
+	l := &LRM{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		name: name,
+	}
+	resp, err := l.roundTrip(&Request{Register: &RegisterRequest{Name: name, Capacity: capacity}})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Register == nil {
+		conn.Close()
+		return nil, fmt.Errorf("grm: register: malformed reply")
+	}
+	l.principal = resp.Register.Principal
+	return l, nil
+}
+
+// Close tears down the connection.
+func (l *LRM) Close() error { return l.conn.Close() }
+
+// Principal returns the principal id assigned at registration.
+func (l *LRM) Principal() int { return l.principal }
+
+// Name returns the name used at registration.
+func (l *LRM) Name() string { return l.name }
+
+// roundTrip performs one request/response exchange.
+func (l *LRM) roundTrip(req *Request) (*Response, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("grm: send: %w", err)
+	}
+	var resp Response
+	if err := l.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("grm: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Report updates the GRM's view of this principal's free capacity.
+func (l *LRM) Report(available float64) error {
+	_, err := l.roundTrip(&Request{Report: &ReportRequest{Principal: l.principal, Available: available}})
+	return err
+}
+
+// ShareRelative creates a relative sharing agreement: this principal
+// shares `fraction` of its fluctuating capacity with principal `to`. The
+// returned ticket token can revoke the agreement.
+func (l *LRM) ShareRelative(to int, fraction float64) (int, error) {
+	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.principal, To: to, Fraction: fraction}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Share == nil {
+		return 0, fmt.Errorf("grm: share: malformed reply")
+	}
+	return resp.Share.Ticket, nil
+}
+
+// ShareAbsolute creates an absolute agreement of a fixed quantity.
+func (l *LRM) ShareAbsolute(to int, quantity float64) (int, error) {
+	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.principal, To: to, Quantity: quantity}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Share == nil {
+		return 0, fmt.Errorf("grm: share: malformed reply")
+	}
+	return resp.Share.Ticket, nil
+}
+
+// Revoke cancels an agreement created by this or any other LRM.
+func (l *LRM) Revoke(ticket int) error {
+	_, err := l.roundTrip(&Request{Revoke: &RevokeRequest{Ticket: ticket}})
+	return err
+}
+
+// Allocate asks the GRM for `amount` units under the agreements. The
+// reply says how much to take from each principal.
+func (l *LRM) Allocate(amount float64) (*AllocReply, error) {
+	resp, err := l.roundTrip(&Request{Alloc: &AllocRequest{Principal: l.principal, Amount: amount}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Alloc == nil {
+		return nil, fmt.Errorf("grm: alloc: malformed reply")
+	}
+	return resp.Alloc, nil
+}
+
+// Release returns an allocation's resources to the GRM's pool using the
+// lease token from AllocReply.
+func (l *LRM) Release(lease int) error {
+	_, err := l.roundTrip(&Request{Release: &ReleaseRequest{Lease: lease}})
+	return err
+}
+
+// Capacities returns the GRM's availability view and every principal's
+// capacity C_i.
+func (l *LRM) Capacities() (available, capacities []float64, err error) {
+	resp, err := l.roundTrip(&Request{Caps: &CapsRequest{}})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Caps == nil {
+		return nil, nil, fmt.Errorf("grm: caps: malformed reply")
+	}
+	return resp.Caps.Available, resp.Caps.Capacities, nil
+}
+
+// Peers lists the registered principal names, indexed by principal id.
+func (l *LRM) Peers() ([]string, error) {
+	resp, err := l.roundTrip(&Request{Peers: &PeersRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Peers == nil {
+		return nil, fmt.Errorf("grm: peers: malformed reply")
+	}
+	return resp.Peers.Names, nil
+}

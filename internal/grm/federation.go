@@ -1,0 +1,97 @@
+package grm
+
+import (
+	"fmt"
+)
+
+// parentLink is a child GRM's registration with a parent GRM, through
+// which it borrows capacity from sibling clusters.
+type parentLink struct {
+	lrm *LRM
+}
+
+// AttachParent registers this GRM as an LRM of a parent GRM, realizing
+// the paper's multi-level GRM architecture: the parent sees the whole
+// cluster as one principal whose capacity is the cluster's aggregate free
+// capacity. Call after local LRMs have registered; ReportUpstream keeps
+// the parent's view fresh.
+func (s *Server) AttachParent(addr, name string) error {
+	s.mu.Lock()
+	var total float64
+	for _, a := range s.avail {
+		total += a
+	}
+	if s.parent != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("grm: parent already attached")
+	}
+	s.mu.Unlock()
+
+	lrm, err := Dial(addr, name, total)
+	if err != nil {
+		return fmt.Errorf("grm: attach parent: %w", err)
+	}
+	s.mu.Lock()
+	s.parent = &parentLink{lrm: lrm}
+	s.mu.Unlock()
+	return nil
+}
+
+// Parent returns the LRM this GRM uses to talk to its parent (nil when
+// not attached). The caller may use it to create inter-cluster sharing
+// agreements with sibling clusters.
+func (s *Server) Parent() *LRM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.parent == nil {
+		return nil
+	}
+	return s.parent.lrm
+}
+
+// ReportUpstream sends the cluster's current aggregate free capacity to
+// the parent GRM.
+func (s *Server) ReportUpstream() error {
+	s.mu.Lock()
+	p := s.parent
+	var total float64
+	for _, a := range s.avail {
+		total += a
+	}
+	s.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("grm: no parent attached")
+	}
+	return p.lrm.Report(total)
+}
+
+// DetachParent closes the parent connection.
+func (s *Server) DetachParent() error {
+	s.mu.Lock()
+	p := s.parent
+	s.parent = nil
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.lrm.Close()
+}
+
+// borrow asks the parent for `amount` units from the federation. It is
+// called with s.mu held by the allocation path; the parent round trip is
+// performed on the parent's own connection, so no lock ordering issue
+// arises (the parent GRM never calls back into this server).
+func (p *parentLink) borrow(amount float64) (float64, error) {
+	if amount <= 0 {
+		return 0, nil
+	}
+	reply, err := p.lrm.Allocate(amount)
+	if err != nil {
+		return 0, err
+	}
+	var got float64
+	for _, take := range reply.Takes {
+		got += take
+	}
+	return got, nil
+}

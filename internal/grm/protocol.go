@@ -1,0 +1,142 @@
+// Package grm implements the resource management architecture sketched at
+// the end of Section 3 of the paper: a centralized Global Resource Manager
+// (GRM) that stores sharing agreements and schedules resources, plus Local
+// Resource Managers (LRMs) that register their resources, report
+// fluctuating availability, and request allocations.
+//
+// The wire protocol is gob over TCP (stdlib only): each LRM connection
+// carries strictly alternating request/response envelopes. The GRM embeds
+// the ticket-and-currency agreement system (package agreement) for
+// expression and the LP allocator (package core) for enforcement, so the
+// full stack of the paper runs end to end over a real network boundary.
+//
+// GRMs can also be stacked into levels ("the architecture also permits
+// splitting of the GRMs into multiple levels"): a GRM attaches to a parent
+// GRM as an ordinary LRM, reporting its cluster's aggregate free capacity
+// and borrowing from sibling clusters when a local request cannot be
+// satisfied (see federation.go).
+package grm
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Request is the envelope an LRM sends to the GRM; exactly one field is
+// non-nil.
+type Request struct {
+	Register *RegisterRequest
+	Report   *ReportRequest
+	Share    *ShareRequest
+	Revoke   *RevokeRequest
+	Alloc    *AllocRequest
+	Release  *ReleaseRequest
+	Caps     *CapsRequest
+	Peers    *PeersRequest
+}
+
+// Response is the GRM's reply; Err is empty on success and exactly one
+// payload field is non-nil for the matching request kind.
+type Response struct {
+	Err      string
+	Register *RegisterReply
+	Report   *ReportReply
+	Share    *ShareReply
+	Revoke   *ReportReply // revoke has no payload beyond acknowledgement
+	Alloc    *AllocReply
+	Release  *ReportReply // acknowledgement only
+	Caps     *CapsReply
+	Peers    *PeersReply
+}
+
+// RegisterRequest announces an LRM and its resource capacity to the GRM.
+type RegisterRequest struct {
+	Name     string
+	Capacity float64
+}
+
+// RegisterReply returns the principal index assigned to the LRM.
+type RegisterReply struct {
+	Principal int
+}
+
+// ReportRequest updates the GRM's view of the LRM's free capacity.
+type ReportRequest struct {
+	Principal int
+	Available float64
+}
+
+// ReportReply acknowledges a report.
+type ReportReply struct{}
+
+// ShareRequest expresses a sharing agreement from the calling principal to
+// another: relative (Fraction of the caller's fluctuating capacity) or
+// absolute (a fixed Quantity) — the two ticket kinds of Section 2.
+type ShareRequest struct {
+	From     int
+	To       int
+	Fraction float64 // relative share in (0, 1]; 0 if absolute
+	Quantity float64 // absolute quantity; 0 if relative
+}
+
+// ShareReply returns a token that can later revoke the agreement.
+type ShareReply struct {
+	Ticket int
+}
+
+// RevokeRequest cancels a previously created agreement.
+type RevokeRequest struct {
+	Ticket int
+}
+
+// AllocRequest asks the GRM to allocate Amount units for the principal,
+// honoring all agreements.
+type AllocRequest struct {
+	Principal int
+	Amount    float64
+}
+
+// AllocReply carries the GRM's allocation decision: how much to take from
+// each principal (indexed by principal id), the realized perturbation
+// metric θ, and a lease token to pass to Release when the resources are
+// done.
+type AllocReply struct {
+	Takes []float64
+	Theta float64
+	Lease int
+}
+
+// ReleaseRequest returns a finished allocation's resources to the pool.
+type ReleaseRequest struct {
+	Lease int
+}
+
+// CapsRequest asks for every principal's capacity C_i (own plus
+// transitively available resources) under the current availability.
+type CapsRequest struct{}
+
+// CapsReply lists capacities indexed by principal.
+type CapsReply struct {
+	Available  []float64
+	Capacities []float64
+}
+
+// PeersRequest asks for the registered principals.
+type PeersRequest struct{}
+
+// PeersReply lists principal names indexed by id.
+type PeersReply struct {
+	Names []string
+}
+
+func init() {
+	// The envelopes are concrete structs, but registering them keeps gob
+	// stream layouts stable across versions.
+	gob.Register(Request{})
+	gob.Register(Response{})
+}
+
+// errorf builds a Response carrying only an error.
+func errorf(format string, args ...any) *Response {
+	return &Response{Err: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,399 @@
+package grm
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// Server is the Global Resource Manager: it stores sharing agreements in a
+// ticket-and-currency system, tracks availability reported by LRMs, and
+// answers allocation requests with the LP scheduler.
+type Server struct {
+	cfg core.Config
+
+	mu        sync.Mutex
+	sys       *agreement.System
+	resources []agreement.ResourceID
+	tickets   []agreement.TicketID // ticket token -> system ticket
+	avail     []float64
+	reported  []float64 // last reported capacity per principal (release cap)
+	names     []string
+	planner   *core.Allocator // rebuilt lazily after structural changes
+	parent    *parentLink
+	leases    map[int][]float64 // lease token -> takes
+	nextLease int
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	logger   *log.Logger
+}
+
+// NewServer creates a GRM whose LP allocator uses the given configuration
+// (transitivity level, approximation, ...). logger may be nil to discard
+// diagnostics.
+func NewServer(cfg core.Config, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		cfg:       cfg,
+		sys:       agreement.NewSystem(),
+		closed:    make(chan struct{}),
+		logger:    logger,
+		leases:    map[int][]float64{},
+		nextLease: 1,
+	}
+}
+
+// Serve accepts LRM connections on l until Close is called. It always
+// returns a non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return net.ErrClosed
+			default:
+				return fmt.Errorf("grm: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("grm: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address (once Serve has been called).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops the accept loop and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// LoadSnapshot replaces the server's agreement system with one restored
+// from a snapshot (cmd/grmd -agreements). Declared principals are
+// pre-registered; LRMs that later register under a declared name bind to
+// the declared principal. Call before Serve.
+func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
+	sys, principals, err := snap.Restore()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.names) > 0 {
+		return fmt.Errorf("grm: LoadSnapshot: principals already registered")
+	}
+	s.sys = sys
+	s.names = make([]string, len(principals))
+	s.avail = make([]float64, len(principals))
+	s.reported = make([]float64, len(principals))
+	for name, pid := range principals {
+		s.names[pid] = name
+	}
+	// Seed availability from the declared "general" capacities.
+	m, err := sys.Matrices(agreement.General)
+	if err != nil {
+		return fmt.Errorf("grm: LoadSnapshot: %w", err)
+	}
+	copy(s.avail, m.V)
+	copy(s.reported, m.V)
+	s.planner = nil
+	s.logger.Printf("grm: loaded snapshot with %d principals", len(principals))
+	return nil
+}
+
+// handle runs one LRM connection's request/response loop.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logger.Printf("grm: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.logger.Printf("grm: encode to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch serves one request. Allocation manages the lock itself (it may
+// drop it around a parent-GRM round trip); everything else runs under one
+// critical section.
+func (s *Server) dispatch(req *Request) *Response {
+	if req.Alloc != nil {
+		return s.alloc(req.Alloc)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case req.Register != nil:
+		return s.register(req.Register)
+	case req.Report != nil:
+		return s.report(req.Report)
+	case req.Share != nil:
+		return s.share(req.Share)
+	case req.Revoke != nil:
+		return s.revoke(req.Revoke)
+	case req.Release != nil:
+		return s.release(req.Release)
+	case req.Caps != nil:
+		return s.caps()
+	case req.Peers != nil:
+		return &Response{Peers: &PeersReply{Names: append([]string(nil), s.names...)}}
+	default:
+		return errorf("grm: empty request envelope")
+	}
+}
+
+func (s *Server) register(r *RegisterRequest) *Response {
+	if r.Name == "" {
+		return errorf("grm: register: empty name")
+	}
+	if r.Capacity < 0 {
+		return errorf("grm: register: negative capacity %g", r.Capacity)
+	}
+	// An LRM whose name was declared by a preloaded agreements snapshot
+	// binds to its declared principal instead of creating a new one.
+	for i, name := range s.names {
+		if name == r.Name {
+			s.avail[i] = r.Capacity
+			if r.Capacity > s.reported[i] {
+				s.reported[i] = r.Capacity
+			}
+			s.logger.Printf("grm: %q re-attached as principal %d (capacity %g)", r.Name, i, r.Capacity)
+			return &Response{Register: &RegisterReply{Principal: i}}
+		}
+	}
+	pid := s.sys.AddPrincipal(r.Name)
+	rid, err := s.sys.AddResource(r.Name, agreement.General, pid, r.Capacity)
+	if err != nil {
+		return errorf("grm: register: %v", err)
+	}
+	s.resources = append(s.resources, rid)
+	s.avail = append(s.avail, r.Capacity)
+	s.reported = append(s.reported, r.Capacity)
+	s.names = append(s.names, r.Name)
+	s.planner = nil // structure changed
+	s.logger.Printf("grm: registered %q as principal %d (capacity %g)", r.Name, pid, r.Capacity)
+	return &Response{Register: &RegisterReply{Principal: int(pid)}}
+}
+
+func (s *Server) report(r *ReportRequest) *Response {
+	if err := s.checkPrincipal(r.Principal); err != nil {
+		return errorf("grm: report: %v", err)
+	}
+	if r.Available < 0 {
+		return errorf("grm: report: negative availability %g", r.Available)
+	}
+	s.avail[r.Principal] = r.Available
+	if r.Available > s.reported[r.Principal] {
+		s.reported[r.Principal] = r.Available
+	}
+	return &Response{Report: &ReportReply{}}
+}
+
+func (s *Server) share(r *ShareRequest) *Response {
+	if err := s.checkPrincipal(r.From); err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	if err := s.checkPrincipal(r.To); err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	from := s.sys.CurrencyOf(agreement.PrincipalID(r.From))
+	to := s.sys.CurrencyOf(agreement.PrincipalID(r.To))
+	var tid agreement.TicketID
+	var err error
+	switch {
+	case r.Fraction > 0 && r.Quantity == 0:
+		if r.Fraction > 1 {
+			return errorf("grm: share: fraction %g exceeds 1", r.Fraction)
+		}
+		units := r.Fraction * s.sys.Currency(from).FaceValue
+		tid, err = s.sys.ShareRelative(from, to, units)
+	case r.Quantity > 0 && r.Fraction == 0:
+		tid, err = s.sys.ShareAbsolute(from, to, agreement.General, r.Quantity, agreement.Sharing)
+	default:
+		return errorf("grm: share: exactly one of Fraction or Quantity must be positive")
+	}
+	if err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	s.tickets = append(s.tickets, tid)
+	s.planner = nil
+	s.logger.Printf("grm: agreement %d -> %d (fraction %g, quantity %g)", r.From, r.To, r.Fraction, r.Quantity)
+	return &Response{Share: &ShareReply{Ticket: len(s.tickets) - 1}}
+}
+
+func (s *Server) revoke(r *RevokeRequest) *Response {
+	if r.Ticket < 0 || r.Ticket >= len(s.tickets) {
+		return errorf("grm: revoke: unknown ticket %d", r.Ticket)
+	}
+	s.sys.Revoke(s.tickets[r.Ticket])
+	s.planner = nil
+	return &Response{Revoke: &ReportReply{}}
+}
+
+// alloc plans and commits an allocation. When local capacity falls short
+// and a parent GRM is attached, the lock is RELEASED around the parent's
+// network round trip (holding it would stall every other LRM on a remote
+// call), then the plan is retried against the then-current availability
+// with the borrowed capacity credited to the requester.
+func (s *Server) alloc(r *AllocRequest) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPrincipal(r.Principal); err != nil {
+		return errorf("grm: alloc: %v", err)
+	}
+	if r.Amount < 0 {
+		return errorf("grm: alloc: negative amount %g", r.Amount)
+	}
+	var borrowed float64
+	for attempt := 0; ; attempt++ {
+		planner, err := s.currentPlanner()
+		if err != nil {
+			return errorf("grm: alloc: %v", err)
+		}
+		v := append([]float64(nil), s.avail...)
+		v[r.Principal] += borrowed
+		plan, err := planner.Plan(v, r.Principal, r.Amount)
+		if errors.Is(err, core.ErrInsufficient) && s.parent != nil && attempt == 0 {
+			caps := planner.Capacities(v)
+			deficit := r.Amount - caps[r.Principal]
+			parent := s.parent
+			s.mu.Unlock()
+			got, berr := parent.borrow(deficit)
+			s.mu.Lock()
+			if berr != nil {
+				return errorf("grm: alloc: local capacity %g short of %g and parent refused: %v",
+					caps[r.Principal], r.Amount, berr)
+			}
+			borrowed = got
+			continue
+		}
+		if err != nil {
+			return errorf("grm: alloc: %v", err)
+		}
+		// Commit the GRM's availability view; LRMs overwrite it with
+		// their next reports, and Release returns the lease.
+		for i, take := range plan.Take {
+			s.avail[i] -= take
+			if s.avail[i] < 0 {
+				s.avail[i] = 0
+			}
+		}
+		lease := s.nextLease
+		s.nextLease++
+		s.leases[lease] = append([]float64(nil), plan.Take...)
+		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: lease}}
+	}
+}
+
+// release returns a lease's takes to the availability view, capped by
+// each principal's last reported capacity (fresh reports remain ground
+// truth).
+func (s *Server) release(r *ReleaseRequest) *Response {
+	takes, ok := s.leases[r.Lease]
+	if !ok {
+		return errorf("grm: release: unknown lease %d", r.Lease)
+	}
+	delete(s.leases, r.Lease)
+	for i, take := range takes {
+		if i >= len(s.avail) {
+			break
+		}
+		s.avail[i] += take
+		if s.avail[i] > s.reported[i] {
+			s.avail[i] = s.reported[i]
+		}
+	}
+	return &Response{Release: &ReportReply{}}
+}
+
+func (s *Server) caps() *Response {
+	planner, err := s.currentPlanner()
+	if err != nil {
+		return errorf("grm: caps: %v", err)
+	}
+	v := append([]float64(nil), s.avail...)
+	return &Response{Caps: &CapsReply{
+		Available:  v,
+		Capacities: planner.Capacities(v),
+	}}
+}
+
+// currentPlanner rebuilds the allocator if agreements changed. Callers
+// hold s.mu.
+func (s *Server) currentPlanner() (*core.Allocator, error) {
+	if len(s.avail) == 0 {
+		return nil, fmt.Errorf("no principals registered")
+	}
+	if s.planner != nil {
+		return s.planner, nil
+	}
+	m, err := s.sys.Matrices(agreement.General)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewAllocator(m.S, m.A, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.planner = planner
+	return planner, nil
+}
+
+func (s *Server) checkPrincipal(id int) error {
+	if id < 0 || id >= len(s.avail) {
+		return fmt.Errorf("unknown principal %d", id)
+	}
+	return nil
+}

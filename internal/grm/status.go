@@ -1,0 +1,81 @@
+package grm
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Status is a point-in-time view of the GRM for operators: who is
+// registered, what the scheduler believes is available, and what each
+// principal could reach through agreements right now.
+type Status struct {
+	Principals []PrincipalStatus `json:"principals"`
+	// Leases is the number of outstanding (unreleased) allocations.
+	Leases int `json:"leases"`
+	// Agreements is the number of live (unrevoked) agreement tickets
+	// created over the wire.
+	Agreements int `json:"agreements"`
+}
+
+// PrincipalStatus is one principal's row in the status view.
+type PrincipalStatus struct {
+	Principal int     `json:"principal"`
+	Name      string  `json:"name"`
+	Available float64 `json:"available"`
+	Reported  float64 `json:"reported"`
+	// Capacity is C_i: available plus transitively reachable resources.
+	Capacity float64 `json:"capacity"`
+}
+
+// Status assembles the current view. With no principals registered the
+// capacities are trivially empty rather than an error.
+func (s *Server) Status() (*Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Status{Leases: len(s.leases)}
+	for _, tid := range s.tickets {
+		if !s.sys.Ticket(tid).Revoked {
+			out.Agreements++
+		}
+	}
+	if len(s.avail) == 0 {
+		return out, nil
+	}
+	planner, err := s.currentPlanner()
+	if err != nil {
+		return nil, err
+	}
+	caps := planner.Capacities(s.avail)
+	for i, name := range s.names {
+		out.Principals = append(out.Principals, PrincipalStatus{
+			Principal: i,
+			Name:      name,
+			Available: s.avail[i],
+			Reported:  s.reported[i],
+			Capacity:  caps[i],
+		})
+	}
+	return out, nil
+}
+
+// ServeHTTP exposes the status as JSON, so a GRM can be wired into any
+// stdlib HTTP mux for monitoring:
+//
+//	http.Handle("/status", grmServer)
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st, err := s.Status()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		s.logger.Printf("grm: status encode: %v", err)
+	}
+}

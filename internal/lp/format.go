@@ -1,0 +1,301 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseModel reads a model from a small line-oriented text format:
+//
+//	# comments start with '#'
+//	min: 2 x + 3 y          (or "max:")
+//	supply: x + y >= 4      (named constraints, one per line)
+//	limit:  x - 2 y <= 2
+//	0 <= x <= 10            (bounds lines; either side optional)
+//	free y                  (free variable declaration)
+//
+// Variables default to [0, +inf) and are created on first mention.
+// Coefficients may be written "2x", "2*x", "2 x", or a bare "x"/" -x".
+func ParseModel(r io.Reader) (*Model, error) {
+	p := &parser{
+		vars: map[string]VarID{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("lp: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: read: %w", err)
+	}
+	if p.model == nil {
+		return nil, fmt.Errorf("lp: no objective line (\"min:\" or \"max:\") found")
+	}
+	p.finish()
+	return p.model, nil
+}
+
+type parser struct {
+	model  *Model
+	vars   map[string]VarID
+	order  []string
+	lo, hi map[string]float64
+	free   map[string]bool
+	// deferred constraints, applied after bounds are known
+	cons []parsedCons
+	obj  []parsedTerm
+}
+
+type parsedTerm struct {
+	coeff float64
+	name  string
+}
+
+type parsedCons struct {
+	name  string
+	terms []parsedTerm
+	rel   Relation
+	rhs   float64
+}
+
+func (p *parser) line(line string) error {
+	lower := strings.ToLower(line)
+	switch {
+	case strings.HasPrefix(lower, "min:"), strings.HasPrefix(lower, "max:"):
+		if p.model != nil {
+			return fmt.Errorf("duplicate objective line")
+		}
+		sense := Minimize
+		if strings.HasPrefix(lower, "max:") {
+			sense = Maximize
+		}
+		p.model = NewModel(sense)
+		p.lo = map[string]float64{}
+		p.hi = map[string]float64{}
+		p.free = map[string]bool{}
+		terms, err := parseExpr(line[len("min:"):])
+		if err != nil {
+			return err
+		}
+		p.obj = terms
+		for _, t := range terms {
+			p.touch(t.name)
+		}
+		return nil
+	case strings.HasPrefix(lower, "free "):
+		if p.model == nil {
+			return fmt.Errorf("objective line must come first")
+		}
+		for _, name := range strings.Fields(line[len("free "):]) {
+			p.touch(name)
+			p.free[name] = true
+		}
+		return nil
+	}
+	if p.model == nil {
+		return fmt.Errorf("objective line must come first")
+	}
+	// Bounds line? Pattern: [num <=] var [<= num] with no ':'.
+	if !strings.Contains(line, ":") {
+		return p.boundsLine(line)
+	}
+	colon := strings.Index(line, ":")
+	name := strings.TrimSpace(line[:colon])
+	body := line[colon+1:]
+	rel, lhs, rhs, err := splitRelation(body)
+	if err != nil {
+		return err
+	}
+	terms, err := parseExpr(lhs)
+	if err != nil {
+		return err
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+	if err != nil {
+		return fmt.Errorf("right-hand side %q is not a number", strings.TrimSpace(rhs))
+	}
+	for _, t := range terms {
+		p.touch(t.name)
+	}
+	p.cons = append(p.cons, parsedCons{name: name, terms: terms, rel: rel, rhs: val})
+	return nil
+}
+
+func (p *parser) boundsLine(line string) error {
+	parts := splitAny(line, "<=")
+	switch len(parts) {
+	case 2: // "x <= 5" or "0 <= x"
+		a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		if v, err := strconv.ParseFloat(a, 64); err == nil {
+			p.touch(b)
+			p.lo[b] = v
+			return nil
+		}
+		v, err := strconv.ParseFloat(b, 64)
+		if err != nil {
+			return fmt.Errorf("cannot parse bounds line %q", line)
+		}
+		p.touch(a)
+		p.hi[a] = v
+		return nil
+	case 3: // "0 <= x <= 5"
+		loS, name, hiS := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2])
+		lo, err1 := strconv.ParseFloat(loS, 64)
+		hi, err2 := strconv.ParseFloat(hiS, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("cannot parse bounds line %q", line)
+		}
+		p.touch(name)
+		p.lo[name] = lo
+		p.hi[name] = hi
+		return nil
+	}
+	return fmt.Errorf("cannot parse line %q (missing ':'?)", line)
+}
+
+func (p *parser) touch(name string) {
+	if _, ok := p.vars[name]; ok {
+		return
+	}
+	p.vars[name] = -1 // placeholder; created in finish()
+	p.order = append(p.order, name)
+}
+
+func (p *parser) finish() {
+	objOf := map[string]float64{}
+	for _, t := range p.obj {
+		objOf[t.name] += t.coeff
+	}
+	for _, name := range p.order {
+		lo, hi := 0.0, Inf
+		if p.free[name] {
+			lo = -Inf
+		}
+		if v, ok := p.lo[name]; ok {
+			lo = v
+		}
+		if v, ok := p.hi[name]; ok {
+			hi = v
+		}
+		p.vars[name] = p.model.AddVar(name, lo, hi, objOf[name])
+	}
+	for _, c := range p.cons {
+		terms := make([]Term, len(c.terms))
+		for i, t := range c.terms {
+			terms[i] = Term{Var: p.vars[t.name], Coeff: t.coeff}
+		}
+		p.model.AddConstraint(c.name, terms, c.rel, c.rhs)
+	}
+}
+
+// splitRelation separates "expr REL rhs" on the first <=, >= or =.
+func splitRelation(s string) (Relation, string, string, error) {
+	for _, cand := range []struct {
+		op  string
+		rel Relation
+	}{{"<=", LE}, {">=", GE}, {"=", EQ}} {
+		if i := strings.Index(s, cand.op); i >= 0 {
+			return cand.rel, s[:i], s[i+len(cand.op):], nil
+		}
+	}
+	return EQ, "", "", fmt.Errorf("no relation (<=, >=, =) in constraint %q", strings.TrimSpace(s))
+}
+
+// splitAny splits s by the separator, trimming nothing.
+func splitAny(s, sep string) []string {
+	return strings.Split(s, sep)
+}
+
+// parseExpr parses "2 x + 3*y - z" into terms.
+func parseExpr(s string) ([]parsedTerm, error) {
+	s = strings.ReplaceAll(s, "*", " ")
+	s = strings.ReplaceAll(s, "+", " + ")
+	s = strings.ReplaceAll(s, "-", " - ")
+	fields := strings.Fields(s)
+	var terms []parsedTerm
+	sign := 1.0
+	coeff := 1.0
+	haveCoeff := false
+	for _, f := range fields {
+		switch f {
+		case "+":
+			continue
+		case "-":
+			sign = -sign
+			continue
+		}
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			coeff = v
+			haveCoeff = true
+			continue
+		}
+		// Allow a glued coefficient like "2x".
+		split := 0
+		for split < len(f) && (f[split] >= '0' && f[split] <= '9' || f[split] == '.') {
+			split++
+		}
+		name := f
+		if split > 0 && split < len(f) {
+			v, err := strconv.ParseFloat(f[:split], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad term %q", f)
+			}
+			coeff = v
+			haveCoeff = true
+			name = f[split:]
+		}
+		if !isIdent(name) {
+			return nil, fmt.Errorf("bad variable name %q", name)
+		}
+		c := coeff
+		if !haveCoeff {
+			c = 1
+		}
+		terms = append(terms, parsedTerm{coeff: sign * c, name: name})
+		sign, coeff, haveCoeff = 1, 1, false
+	}
+	if haveCoeff {
+		return nil, fmt.Errorf("dangling coefficient in expression %q", strings.TrimSpace(s))
+	}
+	return terms, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteSolution renders a solved model's variable values to w in the order
+// variables were declared, one "name = value" per line, followed by the
+// objective.
+func WriteSolution(w io.Writer, m *Model, sol *Solution) error {
+	for i := 0; i < m.NumVars(); i++ {
+		if _, err := fmt.Fprintf(w, "%s = %.9g\n", m.VarName(VarID(i)), sol.Value(VarID(i))); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "objective = %.9g\n", sol.Objective)
+	return err
+}

@@ -1,0 +1,164 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseModelBasic(t *testing.T) {
+	src := `
+# sample problem
+min: 2 x + 3 y
+c1: x + y >= 4
+c2: x - y <= 2
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	if m.NumVars() != 2 || m.NumConstraints() != 2 {
+		t.Fatalf("got %d vars, %d cons; want 2, 2", m.NumVars(), m.NumConstraints())
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	almost(t, sol.Objective, 9, 1e-7, "objective") // x=3, y=1 -> 9
+}
+
+func TestParseModelMaxAndBounds(t *testing.T) {
+	src := `
+max: x + 2y
+cap: x + y <= 10
+0 <= x <= 4
+y <= 7
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// y=7, x=3 -> 17.
+	almost(t, sol.Objective, 17, 1e-7, "objective")
+}
+
+func TestParseModelFreeVariable(t *testing.T) {
+	src := `
+min: z
+free z
+lb: z >= -12
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	almost(t, sol.Objective, -12, 1e-7, "objective")
+}
+
+func TestParseModelGluedCoefficients(t *testing.T) {
+	src := `
+min: 2x + 0.5y
+c: 3x + 2y >= 6
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Cheapest per unit of constraint: y (0.5/2=0.25) vs x (2/3). y=3 -> 1.5.
+	almost(t, sol.Objective, 1.5, 1e-7, "objective")
+}
+
+func TestParseModelEquality(t *testing.T) {
+	src := `
+min: x + y
+e: x + y = 9
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	almost(t, sol.Objective, 9, 1e-7, "objective")
+}
+
+func TestParseModelErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no objective", "c: x >= 1\n"},
+		{"duplicate objective", "min: x\nmin: y\n"},
+		{"bad rhs", "min: x\nc: x >= banana\n"},
+		{"no relation", "min: x\nc: x 4\n"},
+		{"bad bounds", "min: x\nq <= r\n"},
+		{"constraint before objective", "free x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseModel(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("ParseModel(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestWriteSolution(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, Inf, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 3)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, m, sol); err != nil {
+		t.Fatalf("WriteSolution: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x = 3") || !strings.Contains(out, "objective = 3") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestParseExprSigns(t *testing.T) {
+	terms, err := parseExpr("-x + 2 y - 3*z")
+	if err != nil {
+		t.Fatalf("parseExpr: %v", err)
+	}
+	want := map[string]float64{"x": -1, "y": 2, "z": -3}
+	if len(terms) != 3 {
+		t.Fatalf("got %d terms, want 3", len(terms))
+	}
+	for _, tm := range terms {
+		if want[tm.name] != tm.coeff {
+			t.Errorf("term %s = %g, want %g", tm.name, tm.coeff, want[tm.name])
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("x", 0, 5, 2)
+	m.AddConstraint("c", []Term{{x, 1}}, LE, 4)
+	s := m.String()
+	for _, want := range []string{"maximize", "2*x", "<= 4", "[c]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

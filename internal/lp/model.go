@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the canonical "no bound" value for variable bounds.
+var Inf = math.Inf(1)
+
+// Sense selects the optimization direction of a Model.
+type Sense int
+
+const (
+	// Minimize the objective function.
+	Minimize Sense = iota
+	// Maximize the objective function.
+	Maximize
+)
+
+// String returns "minimize" or "maximize".
+func (s Sense) String() string {
+	if s == Maximize {
+		return "maximize"
+	}
+	return "minimize"
+}
+
+// Relation is the comparison operator of a linear constraint.
+type Relation int
+
+const (
+	// LE is a "less than or equal" (<=) constraint.
+	LE Relation = iota
+	// GE is a "greater than or equal" (>=) constraint.
+	GE
+	// EQ is an equality (=) constraint.
+	EQ
+)
+
+// String returns the operator symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// VarID identifies a variable within a Model. It is the zero-based index
+// returned by AddVar.
+type VarID int
+
+// Term is one coefficient*variable product of a linear expression.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+type variable struct {
+	name string
+	lo   float64
+	hi   float64
+	obj  float64
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	rel   Relation
+	rhs   float64
+}
+
+// Model is a mutable linear program. Construct one with NewModel, add
+// variables and constraints, then call Solve. A Model is not safe for
+// concurrent mutation; Solve does not mutate the model and may be called
+// repeatedly.
+type Model struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewModel returns an empty model with the given optimization sense.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// Sense reports the optimization direction of the model.
+func (m *Model) Sense() Sense { return m.sense }
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// obj, returning its identifier. Use -lp.Inf / lp.Inf for unbounded sides.
+// AddVar panics if lo > hi or either bound is NaN; modelling bugs of that
+// kind are programmer errors, not runtime conditions.
+func (m *Model) AddVar(name string, lo, hi, obj float64) VarID {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(obj) {
+		panic(fmt.Sprintf("lp: AddVar(%q): NaN bound or objective", name))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: AddVar(%q): lower bound %g exceeds upper bound %g", name, lo, hi))
+	}
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj})
+	return VarID(len(m.vars) - 1)
+}
+
+// SetObjective replaces the objective coefficient of v.
+func (m *Model) SetObjective(v VarID, obj float64) {
+	m.vars[v].obj = obj
+}
+
+// VarName returns the name a variable was registered with.
+func (m *Model) VarName(v VarID) string { return m.vars[v].name }
+
+// Bounds returns the lower and upper bound of v.
+func (m *Model) Bounds(v VarID) (lo, hi float64) {
+	return m.vars[v].lo, m.vars[v].hi
+}
+
+// AddConstraint adds the linear constraint sum(terms) rel rhs and returns
+// its zero-based row index. Terms referencing the same variable are
+// accumulated. AddConstraint panics on out-of-range variable references or
+// NaN coefficients.
+func (m *Model) AddConstraint(name string, terms []Term, rel Relation, rhs float64) int {
+	if math.IsNaN(rhs) {
+		panic(fmt.Sprintf("lp: AddConstraint(%q): NaN right-hand side", name))
+	}
+	merged := make(map[VarID]float64, len(terms))
+	order := make([]VarID, 0, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(m.vars) {
+			panic(fmt.Sprintf("lp: AddConstraint(%q): unknown variable %d", name, t.Var))
+		}
+		if math.IsNaN(t.Coeff) {
+			panic(fmt.Sprintf("lp: AddConstraint(%q): NaN coefficient for %s", name, m.vars[t.Var].name))
+		}
+		if _, seen := merged[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		merged[t.Var] += t.Coeff
+	}
+	clean := make([]Term, 0, len(order))
+	for _, v := range order {
+		if c := merged[v]; c != 0 {
+			clean = append(clean, Term{Var: v, Coeff: c})
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: clean, rel: rel, rhs: rhs})
+	return len(m.cons) - 1
+}
+
+// ConstraintName returns the name of constraint row i.
+func (m *Model) ConstraintName(i int) string { return m.cons[i].name }
+
+// Eval computes the value of the objective function at the given point.
+// The point must have one entry per variable.
+func (m *Model) Eval(point []float64) float64 {
+	if len(point) != len(m.vars) {
+		panic(fmt.Sprintf("lp: Eval: point has %d entries, model has %d variables", len(point), len(m.vars)))
+	}
+	var z float64
+	for i, v := range m.vars {
+		z += v.obj * point[i]
+	}
+	return z
+}
+
+// Feasible reports whether the point satisfies every constraint and bound
+// within tolerance tol.
+func (m *Model) Feasible(point []float64, tol float64) bool {
+	return m.violation(point) <= tol
+}
+
+// violation returns the largest constraint or bound violation at point.
+func (m *Model) violation(point []float64) float64 {
+	worst := 0.0
+	for i, v := range m.vars {
+		if point[i] < v.lo {
+			worst = math.Max(worst, v.lo-point[i])
+		}
+		if point[i] > v.hi {
+			worst = math.Max(worst, point[i]-v.hi)
+		}
+	}
+	for _, c := range m.cons {
+		var lhs float64
+		for _, t := range c.terms {
+			lhs += t.Coeff * point[t.Var]
+		}
+		switch c.rel {
+		case LE:
+			worst = math.Max(worst, lhs-c.rhs)
+		case GE:
+			worst = math.Max(worst, c.rhs-lhs)
+		case EQ:
+			worst = math.Max(worst, math.Abs(lhs-c.rhs))
+		}
+	}
+	return worst
+}
+
+// String renders the model in a human-readable algebraic form, mainly for
+// debugging and error reports.
+func (m *Model) String() string {
+	out := m.sense.String() + " "
+	first := true
+	for _, v := range m.vars {
+		if v.obj == 0 {
+			continue
+		}
+		if !first {
+			out += " + "
+		}
+		out += fmt.Sprintf("%g*%s", v.obj, v.name)
+		first = false
+	}
+	if first {
+		out += "0"
+	}
+	out += "\nsubject to\n"
+	for _, c := range m.cons {
+		out += "  "
+		for i, t := range c.terms {
+			if i > 0 {
+				out += " + "
+			}
+			out += fmt.Sprintf("%g*%s", t.Coeff, m.vars[t.Var].name)
+		}
+		if len(c.terms) == 0 {
+			out += "0"
+		}
+		out += fmt.Sprintf(" %s %g  [%s]\n", c.rel, c.rhs, c.name)
+	}
+	for _, v := range m.vars {
+		out += fmt.Sprintf("  %g <= %s <= %g\n", v.lo, v.name, v.hi)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFeasibleLP builds an LP that is feasible by construction: a random
+// interior point is drawn first and every constraint is generated to hold
+// at that point with slack.
+func randomFeasibleLP(rng *rand.Rand, nVars, nCons int) (*Model, []float64) {
+	m := NewModel(Minimize)
+	point := make([]float64, nVars)
+	ids := make([]VarID, nVars)
+	for i := 0; i < nVars; i++ {
+		lo := rng.Float64() * 4
+		hi := lo + 1 + rng.Float64()*10
+		point[i] = lo + rng.Float64()*(hi-lo)
+		obj := rng.NormFloat64() * 3
+		ids[i] = m.AddVar("v", lo, hi, obj)
+	}
+	for c := 0; c < nCons; c++ {
+		terms := make([]Term, 0, nVars)
+		lhs := 0.0
+		for i := 0; i < nVars; i++ {
+			if rng.Float64() < 0.3 {
+				continue
+			}
+			coef := rng.NormFloat64() * 2
+			terms = append(terms, Term{ids[i], coef})
+			lhs += coef * point[i]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		slack := rng.Float64() * 5
+		if rng.Intn(2) == 0 {
+			m.AddConstraint("c", terms, LE, lhs+slack)
+		} else {
+			m.AddConstraint("c", terms, GE, lhs-slack)
+		}
+	}
+	return m, point
+}
+
+// TestQuickFeasibleOptimumIsFeasible: on randomly generated feasible LPs,
+// the solver must return Optimal (the box is bounded, so no unboundedness)
+// and the reported point must satisfy all constraints.
+func TestQuickFeasibleOptimumIsFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(6)
+		nCons := rng.Intn(8)
+		m, witness := randomFeasibleLP(rng, nVars, nCons)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Logf("seed %d: unexpected error %v\nwitness %v\n%s", seed, err, witness, m.String())
+			return false
+		}
+		if !m.Feasible(sol.Values(), 1e-5) {
+			t.Logf("seed %d: infeasible optimum %v\n%s", seed, sol.Values(), m.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOptimumBeatsWitness: the optimum must be at least as good as the
+// known feasible witness point used to construct the LP.
+func TestQuickOptimumBeatsWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(6)
+		nCons := rng.Intn(8)
+		m, witness := randomFeasibleLP(rng, nVars, nCons)
+		sol, err := m.Solve()
+		if err != nil {
+			return false
+		}
+		return sol.Objective <= m.Eval(witness)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOptimumBeatsRandomFeasiblePoints: sample feasible points by
+// rejection and verify none beats the reported optimum.
+func TestQuickOptimumBeatsRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(4)
+		nCons := rng.Intn(5)
+		m, _ := randomFeasibleLP(rng, nVars, nCons)
+		sol, err := m.Solve()
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 200; trial++ {
+			p := make([]float64, nVars)
+			for i := range p {
+				lo, hi := m.Bounds(VarID(i))
+				p[i] = lo + rng.Float64()*(hi-lo)
+			}
+			if !m.Feasible(p, 1e-9) {
+				continue
+			}
+			if m.Eval(p) < sol.Objective-1e-6 {
+				t.Logf("seed %d: point %v (obj %g) beats optimum %g\n%s",
+					seed, p, m.Eval(p), sol.Objective, m.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinMaxSymmetry: maximizing c·x equals -minimize(-c·x) on the
+// same feasible region.
+func TestQuickMinMaxSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(5)
+		nCons := rng.Intn(6)
+		minM, _ := randomFeasibleLP(rng, nVars, nCons)
+
+		maxM := NewModel(Maximize)
+		for i := 0; i < minM.NumVars(); i++ {
+			lo, hi := minM.Bounds(VarID(i))
+			maxM.AddVar("v", lo, hi, -minM.vars[i].obj)
+		}
+		for _, c := range minM.cons {
+			maxM.AddConstraint(c.name, c.terms, c.rel, c.rhs)
+		}
+		a, errA := minM.Solve()
+		b, errB := maxM.Solve()
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		return math.Abs(a.Objective+b.Objective) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScaleInvariance: scaling all objective coefficients by a
+// positive constant scales the optimum and keeps the argmin feasible set.
+func TestQuickScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(5)
+		m, _ := randomFeasibleLP(rng, nVars, rng.Intn(5))
+		scale := 0.5 + rng.Float64()*10
+		scaled := NewModel(Minimize)
+		for i := 0; i < m.NumVars(); i++ {
+			lo, hi := m.Bounds(VarID(i))
+			scaled.AddVar("v", lo, hi, m.vars[i].obj*scale)
+		}
+		for _, c := range m.cons {
+			scaled.AddConstraint(c.name, c.terms, c.rel, c.rhs)
+		}
+		a, errA := m.Solve()
+		b, errB := scaled.Solve()
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		return math.Abs(a.Objective*scale-b.Objective) < 1e-5*(1+math.Abs(b.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

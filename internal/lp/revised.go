@@ -1,0 +1,401 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method selects the simplex implementation.
+type Method int
+
+const (
+	// Tableau is the classic dense two-phase tableau simplex: simplest
+	// and fastest for the small LPs the allocation engine generates.
+	Tableau Method = iota
+	// Revised is the revised simplex with an explicitly maintained basis
+	// inverse and column-wise pricing. It touches only the entering
+	// column per pivot instead of the whole tableau, which pays off when
+	// the constraint matrix is sparse or has many more columns than rows
+	// — the paper's Section 3.2 points at exactly this for sparse
+	// agreement structures.
+	Revised
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Revised:
+		return "revised"
+	case BoundedRevised:
+		return "bounded-revised"
+	default:
+		return "tableau"
+	}
+}
+
+// SolveWith optimizes the model with the chosen simplex implementation.
+// Solve is equivalent to SolveWith(Tableau); all methods produce the
+// same optima (a property the tests check on random LPs).
+func (m *Model) SolveWith(method Method) (*Solution, error) {
+	if method == Tableau {
+		return m.Solve()
+	}
+	if method == BoundedRevised {
+		return solveBounded(m)
+	}
+	sf, err := buildStandard(m)
+	if err != nil {
+		return nil, err
+	}
+	r := newRevised(sf)
+	maxPivots := 200 + 60*(sf.m+sf.n)
+	sol := &Solution{values: make([]float64, len(m.vars)), duals: make([]float64, len(m.cons))}
+
+	if len(sf.artCols) > 0 {
+		phase1 := make([]float64, sf.n)
+		for _, j := range sf.artCols {
+			phase1[j] = 1
+		}
+		st := r.iterate(phase1, maxPivots)
+		sol.Pivots = r.pivots
+		if st == IterationLimit {
+			sol.Status = IterationLimit
+			return sol, fmt.Errorf("%w (revised phase 1 after %d pivots)", ErrIterationLimit, r.pivots)
+		}
+		if r.objective(phase1) > feasTol*float64(1+sf.m) {
+			sol.Status = Infeasible
+			return sol, fmt.Errorf("%w (artificial residual %g)", ErrInfeasible, r.objective(phase1))
+		}
+		r.driveOutArtificials()
+		for j, art := range sf.isArt {
+			if art {
+				r.banned[j] = true
+			}
+		}
+	}
+
+	st := r.iterate(sf.cost, maxPivots)
+	sol.Pivots = r.pivots
+	switch st {
+	case Unbounded:
+		sol.Status = Unbounded
+		return sol, fmt.Errorf("%w (revised, after %d pivots)", ErrUnbounded, r.pivots)
+	case IterationLimit:
+		sol.Status = IterationLimit
+		return sol, fmt.Errorf("%w (revised phase 2 after %d pivots)", ErrIterationLimit, r.pivots)
+	}
+
+	x := make([]float64, sf.n)
+	xb := r.basicValues()
+	for i, bc := range r.basis {
+		v := xb[i]
+		if v < 0 {
+			v = 0
+		}
+		x[bc] = v
+	}
+	point := sf.recoverPoint(x)
+	copy(sol.values, point)
+	sol.Objective = m.Eval(point)
+
+	// Duals from y = c_B · B⁻¹.
+	y := r.dualVector(sf.cost)
+	for ci, row := range sf.rowOfCons {
+		d := y[row] * sf.rowSign[row]
+		if sf.negate {
+			d = -d
+		}
+		sol.duals[ci] = d
+	}
+	sol.Status = Optimal
+	return sol, nil
+}
+
+// revised holds the revised-simplex state: column-major constraint data
+// and an explicitly maintained basis inverse.
+type revised struct {
+	sf   *standardForm
+	cols [][]colEntry // sparse columns of A
+	b    []float64
+	binv [][]float64 // m×m basis inverse
+	// basis[i] is the column basic in row i.
+	basis  []int
+	inBase []bool
+	banned []bool
+	pivots int
+	// sinceFactor counts pivots since the last refactorization.
+	sinceFactor int
+}
+
+type colEntry struct {
+	row int
+	val float64
+}
+
+func newRevised(sf *standardForm) *revised {
+	r := &revised{
+		sf:     sf,
+		cols:   make([][]colEntry, sf.n),
+		b:      append([]float64(nil), sf.b...),
+		basis:  append([]int(nil), sf.basis...),
+		inBase: make([]bool, sf.n),
+		banned: make([]bool, sf.n),
+	}
+	for j := 0; j < sf.n; j++ {
+		for i := 0; i < sf.m; i++ {
+			if v := sf.a[i][j]; v != 0 {
+				r.cols[j] = append(r.cols[j], colEntry{row: i, val: v})
+			}
+		}
+	}
+	for _, bc := range r.basis {
+		r.inBase[bc] = true
+	}
+	// Initial basis is the identity (slacks/artificials), so B⁻¹ = I.
+	r.binv = identity(sf.m)
+	return r
+}
+
+func identity(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	return out
+}
+
+// basicValues returns x_B = B⁻¹ b.
+func (r *revised) basicValues() []float64 {
+	m := r.sf.m
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		row := r.binv[i]
+		for k := 0; k < m; k++ {
+			s += row[k] * r.b[k]
+		}
+		if s < 0 && s > -feasTol {
+			s = 0
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// dualVector returns y = c_B · B⁻¹ for the given cost vector.
+func (r *revised) dualVector(cost []float64) []float64 {
+	m := r.sf.m
+	y := make([]float64, m)
+	for i, bc := range r.basis {
+		c := cost[bc]
+		if c == 0 {
+			continue
+		}
+		row := r.binv[i]
+		for k := 0; k < m; k++ {
+			y[k] += c * row[k]
+		}
+	}
+	return y
+}
+
+// objective returns c_B · x_B for the given cost vector.
+func (r *revised) objective(cost []float64) float64 {
+	xb := r.basicValues()
+	var z float64
+	for i, bc := range r.basis {
+		z += cost[bc] * xb[i]
+	}
+	return z
+}
+
+// reducedCost computes r_j = c_j − y·A_j for one column.
+func (r *revised) reducedCost(cost, y []float64, j int) float64 {
+	rc := cost[j]
+	for _, e := range r.cols[j] {
+		rc -= y[e.row] * e.val
+	}
+	return rc
+}
+
+// ftran returns d = B⁻¹ A_j.
+func (r *revised) ftran(j int) []float64 {
+	m := r.sf.m
+	d := make([]float64, m)
+	for _, e := range r.cols[j] {
+		col := e.row
+		v := e.val
+		for i := 0; i < m; i++ {
+			d[i] += r.binv[i][col] * v
+		}
+	}
+	return d
+}
+
+// iterate runs revised-simplex pivots on the given cost vector.
+func (r *revised) iterate(cost []float64, maxPivots int) Status {
+	stall := 0
+	bland := false
+	prev := r.objective(cost)
+	for r.pivots < maxPivots {
+		y := r.dualVector(cost)
+		enter := -1
+		best := -feasTol
+		for j := 0; j < r.sf.n; j++ {
+			if r.inBase[j] || r.banned[j] {
+				continue
+			}
+			rc := r.reducedCost(cost, y, j)
+			if rc < -feasTol {
+				if bland {
+					enter = j
+					break
+				}
+				if rc < best {
+					best = rc
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		d := r.ftran(enter)
+		xb := r.basicValues()
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < r.sf.m; i++ {
+			if d[i] <= pivotTol {
+				continue
+			}
+			ratio := xb[i] / d[i]
+			if ratio < bestRatio-feasTol ||
+				(ratio < bestRatio+feasTol && (leave == -1 || r.basis[i] < r.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		r.pivot(leave, enter, d)
+		cur := r.objective(cost)
+		if prev-cur < 1e-12 {
+			stall++
+			if stall > stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		prev = cur
+	}
+	return IterationLimit
+}
+
+// pivot replaces the basic variable of row `leave` with column `enter`,
+// updating B⁻¹ by the product-form elimination on d = B⁻¹ A_enter.
+func (r *revised) pivot(leave, enter int, d []float64) {
+	m := r.sf.m
+	p := d[leave]
+	inv := 1 / p
+	rowL := r.binv[leave]
+	for k := 0; k < m; k++ {
+		rowL[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := d[i]
+		if f == 0 {
+			continue
+		}
+		row := r.binv[i]
+		for k := 0; k < m; k++ {
+			row[k] -= f * rowL[k]
+		}
+	}
+	r.inBase[r.basis[leave]] = false
+	r.inBase[enter] = true
+	r.basis[leave] = enter
+	r.pivots++
+	r.sinceFactor++
+	if r.sinceFactor >= 64 {
+		r.refactor()
+	}
+}
+
+// refactor recomputes B⁻¹ from scratch (Gauss–Jordan on the basis
+// columns) to shed accumulated floating-point drift.
+func (r *revised) refactor() {
+	m := r.sf.m
+	// Build [B | I] and eliminate.
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, 2*m)
+		a[i][m+i] = 1
+	}
+	for col, bc := range r.basis {
+		for _, e := range r.cols[bc] {
+			a[e.row][col] = e.val
+		}
+	}
+	for col := 0; col < m; col++ {
+		piv := col
+		for i := col + 1; i < m; i++ {
+			if math.Abs(a[i][col]) > math.Abs(a[piv][col]) {
+				piv = i
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			// Basis numerically singular — keep the updated inverse; the
+			// iteration-limit safeguard will catch divergence.
+			return
+		}
+		a[col], a[piv] = a[piv], a[col]
+		f := a[col][col]
+		for k := col; k < 2*m; k++ {
+			a[col][k] /= f
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			g := a[i][col]
+			if g == 0 {
+				continue
+			}
+			for k := col; k < 2*m; k++ {
+				a[i][k] -= g * a[col][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(r.binv[i], a[i][m:])
+	}
+	r.sinceFactor = 0
+}
+
+// driveOutArtificials pivots basic artificials out after phase 1, exactly
+// as the tableau solver does; rows whose artificial cannot be exchanged
+// are redundant and stay inert.
+func (r *revised) driveOutArtificials() {
+	for i := 0; i < r.sf.m; i++ {
+		if !r.sf.isArt[r.basis[i]] {
+			continue
+		}
+		for j := 0; j < r.sf.n; j++ {
+			if r.sf.isArt[j] || r.inBase[j] || r.banned[j] {
+				continue
+			}
+			d := r.ftran(j)
+			if math.Abs(d[i]) > pivotTol {
+				r.pivot(i, j, d)
+				break
+			}
+		}
+	}
+}

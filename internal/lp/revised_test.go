@@ -1,0 +1,153 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRevisedBasicMax(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("x", 0, Inf, 3)
+	y := m.AddVar("y", 0, Inf, 5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := m.SolveWith(Revised)
+	if err != nil {
+		t.Fatalf("SolveWith(Revised): %v", err)
+	}
+	almost(t, sol.Objective, 36, 1e-7, "objective")
+	almost(t, sol.Value(x), 2, 1e-7, "x")
+	almost(t, sol.Value(y), 6, 1e-7, "y")
+}
+
+func TestRevisedInfeasible(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, Inf, 1)
+	m.AddConstraint("hi", []Term{{x, 1}}, GE, 10)
+	m.AddConstraint("lo", []Term{{x, 1}}, LE, 5)
+	if _, err := m.SolveWith(Revised); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestRevisedUnbounded(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("x", 0, Inf, 1)
+	y := m.AddVar("y", 0, Inf, 0)
+	m.AddConstraint("c", []Term{{x, 1}, {y, -1}}, LE, 1)
+	if _, err := m.SolveWith(Revised); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestRevisedEqualityAndBounds(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar("x", -5, 5, 1)
+	y := m.AddVar("y", -1, Inf, 1)
+	z := m.AddVar("z", -Inf, Inf, 0.5)
+	m.AddConstraint("e", []Term{{x, 1}, {y, 1}, {z, 1}}, EQ, 4)
+	m.AddConstraint("g", []Term{{y, 1}, {z, -1}}, GE, -2)
+	tab, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := m.SolveWith(Revised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, rev.Objective, tab.Objective, 1e-6, "objective parity")
+	if !m.Feasible(rev.Values(), 1e-6) {
+		t.Errorf("revised optimum infeasible: %v", rev.Values())
+	}
+}
+
+func TestRevisedDuals(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("x", 0, Inf, 3)
+	y := m.AddVar("y", 0, Inf, 5)
+	c1 := m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	c2 := m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	c3 := m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := m.SolveWith(Revised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, sol.Dual(c1), 0, 1e-7, "dual c1")
+	almost(t, sol.Dual(c2), 1.5, 1e-7, "dual c2")
+	almost(t, sol.Dual(c3), 1, 1e-7, "dual c3")
+}
+
+func TestRevisedBealeCycling(t *testing.T) {
+	m := NewModel(Minimize)
+	x4 := m.AddVar("x4", 0, Inf, -0.75)
+	x5 := m.AddVar("x5", 0, Inf, 150)
+	x6 := m.AddVar("x6", 0, Inf, -0.02)
+	x7 := m.AddVar("x7", 0, Inf, 6)
+	m.AddConstraint("r1", []Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	m.AddConstraint("r2", []Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	m.AddConstraint("r3", []Term{{x6, 1}}, LE, 1)
+	sol, err := m.SolveWith(Revised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, sol.Objective, -0.05, 1e-7, "objective")
+}
+
+// TestQuickRevisedMatchesTableau: the two implementations must agree on
+// the optimal objective (vertices may differ across degenerate optima)
+// for random feasible LPs.
+func TestQuickRevisedMatchesTableau(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(6)
+		nCons := rng.Intn(8)
+		m, _ := randomFeasibleLP(rng, nVars, nCons)
+		tab, errT := m.Solve()
+		rev, errR := m.SolveWith(Revised)
+		if (errT == nil) != (errR == nil) {
+			t.Logf("seed %d: tableau err %v, revised err %v", seed, errT, errR)
+			return false
+		}
+		if errT != nil {
+			return true
+		}
+		if math.Abs(tab.Objective-rev.Objective) > 1e-5*(1+math.Abs(tab.Objective)) {
+			t.Logf("seed %d: tableau %g vs revised %g", seed, tab.Objective, rev.Objective)
+			return false
+		}
+		if !m.Feasible(rev.Values(), 1e-5) {
+			t.Logf("seed %d: revised point infeasible", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevisedRefactorPath exercises the periodic refactorization by
+// solving a problem that needs more than 64 pivots.
+func TestRevisedRefactorPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m, _ := randomFeasibleLP(rng, 40, 60)
+	tab, errT := m.Solve()
+	rev, errR := m.SolveWith(Revised)
+	if errT != nil || errR != nil {
+		t.Fatalf("tableau err %v, revised err %v", errT, errR)
+	}
+	almost(t, rev.Objective, tab.Objective, 1e-5*(1+math.Abs(tab.Objective)), "large-problem parity")
+	if rev.Pivots <= 64 {
+		t.Logf("note: only %d pivots; refactor path may not have triggered", rev.Pivots)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Tableau.String() != "tableau" || Revised.String() != "revised" {
+		t.Error("Method.String wrong")
+	}
+}

@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// pivotTol is the smallest acceptable pivot element magnitude.
+	pivotTol = 1e-9
+	// feasTol is the feasibility / optimality tolerance.
+	feasTol = 1e-7
+	// stallLimit is the number of non-improving pivots tolerated before
+	// the solver switches from Dantzig to Bland's anti-cycling rule.
+	stallLimit = 64
+)
+
+// tableau is a dense simplex tableau: the constraint matrix, right-hand
+// side, reduced-cost row, and current basis over a standardForm.
+type tableau struct {
+	sf     *standardForm
+	a      [][]float64 // m x n, mutated in place
+	b      []float64   // m
+	obj    []float64   // n reduced costs
+	objRHS float64     // -(current objective value)
+	basis  []int
+	banned []bool // columns barred from entering (artificials in phase 2)
+	pivots int
+}
+
+func newTableau(sf *standardForm) *tableau {
+	t := &tableau{
+		sf:     sf,
+		a:      make([][]float64, sf.m),
+		b:      make([]float64, sf.m),
+		obj:    make([]float64, sf.n),
+		basis:  make([]int, sf.m),
+		banned: make([]bool, sf.n),
+	}
+	for i := range sf.a {
+		row := make([]float64, sf.n)
+		copy(row, sf.a[i])
+		t.a[i] = row
+	}
+	copy(t.b, sf.b)
+	copy(t.basis, sf.basis)
+	return t
+}
+
+// setObjective loads per-column costs into the reduced-cost row and prices
+// out the current basic variables.
+func (t *tableau) setObjective(cost []float64) {
+	copy(t.obj, cost)
+	t.objRHS = 0
+	for r, bc := range t.basis {
+		c := cost[bc]
+		if c == 0 {
+			continue
+		}
+		for j := range t.obj {
+			t.obj[j] -= c * t.a[r][j]
+		}
+		t.objRHS -= c * t.b[r]
+	}
+}
+
+// objective returns the current value of the loaded objective.
+func (t *tableau) objective() float64 { return -t.objRHS }
+
+// pivot performs a basis exchange: column enter becomes basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	p := t.a[leave][enter]
+	inv := 1 / p
+	rowL := t.a[leave]
+	for j := range rowL {
+		rowL[j] *= inv
+	}
+	t.b[leave] *= inv
+	for r := range t.a {
+		if r == leave {
+			continue
+		}
+		f := t.a[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := range row {
+			row[j] -= f * rowL[j]
+		}
+		t.b[r] -= f * t.b[leave]
+		if t.b[r] < 0 && t.b[r] > -feasTol {
+			t.b[r] = 0
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * rowL[j]
+		}
+		t.objRHS -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+	t.pivots++
+}
+
+// chooseEnter selects the entering column: Dantzig's most-negative reduced
+// cost, or Bland's smallest-index rule when bland is set. Returns -1 when
+// the current basis is optimal.
+func (t *tableau) chooseEnter(bland bool) int {
+	enter := -1
+	best := -feasTol
+	for j, rc := range t.obj {
+		if t.banned[j] {
+			continue
+		}
+		if rc < -feasTol {
+			if bland {
+				return j
+			}
+			if rc < best {
+				best = rc
+				enter = j
+			}
+		}
+	}
+	return enter
+}
+
+// chooseLeave runs the minimum-ratio test for the entering column. Returns
+// -1 if the column is unbounded below. Ties are broken by the smallest
+// basis index, which together with Bland's entering rule guarantees
+// termination.
+func (t *tableau) chooseLeave(enter int) int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for r := range t.a {
+		coef := t.a[r][enter]
+		if coef <= pivotTol {
+			continue
+		}
+		ratio := t.b[r] / coef
+		if ratio < bestRatio-feasTol ||
+			(ratio < bestRatio+feasTol && (leave == -1 || t.basis[r] < t.basis[leave])) {
+			bestRatio = ratio
+			leave = r
+		}
+	}
+	return leave
+}
+
+// iterate runs simplex pivots on the currently loaded objective until
+// optimality, unboundedness, or the iteration budget is exhausted.
+func (t *tableau) iterate(maxPivots int) Status {
+	stall := 0
+	bland := false
+	prev := t.objective()
+	for t.pivots < maxPivots {
+		enter := t.chooseEnter(bland)
+		if enter == -1 {
+			return Optimal
+		}
+		leave := t.chooseLeave(enter)
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		cur := t.objective()
+		if prev-cur < 1e-12 {
+			stall++
+			if stall > stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		prev = cur
+	}
+	return IterationLimit
+}
+
+// driveOutArtificials removes artificial variables from the basis after a
+// successful phase 1. Rows whose artificial cannot be exchanged for a
+// structural column are redundant; their artificial stays basic at zero and
+// every artificial column is banned from re-entering, which keeps such rows
+// inert for the rest of the solve.
+func (t *tableau) driveOutArtificials() {
+	for r := 0; r < t.sf.m; r++ {
+		if !t.sf.isArt[t.basis[r]] {
+			continue
+		}
+		for j := 0; j < t.sf.n; j++ {
+			if t.sf.isArt[j] || t.banned[j] {
+				continue
+			}
+			if math.Abs(t.a[r][j]) > pivotTol {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+	for j, art := range t.sf.isArt {
+		if art {
+			t.banned[j] = true
+		}
+	}
+}
+
+// extract builds the standard-form solution vector from the basis.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.sf.n)
+	for r, bc := range t.basis {
+		v := t.b[r]
+		if v < 0 {
+			v = 0 // clamp tiny negative residue
+		}
+		x[bc] = v
+	}
+	return x
+}
+
+// Solve optimizes the model with the two-phase primal simplex method. On
+// success it returns a Solution with Status == Optimal and a nil error.
+// For infeasible, unbounded, or stalled problems it returns a partial
+// Solution together with a wrapped ErrInfeasible / ErrUnbounded /
+// ErrIterationLimit.
+func (m *Model) Solve() (*Solution, error) {
+	sf, err := buildStandard(m)
+	if err != nil {
+		return nil, err
+	}
+	t := newTableau(sf)
+	maxPivots := 200 + 60*(sf.m+sf.n)
+
+	sol := &Solution{values: make([]float64, len(m.vars)), duals: make([]float64, len(m.cons))}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if len(sf.artCols) > 0 {
+		phase1 := make([]float64, sf.n)
+		for _, j := range sf.artCols {
+			phase1[j] = 1
+		}
+		t.setObjective(phase1)
+		st := t.iterate(maxPivots)
+		sol.Pivots = t.pivots
+		if st == IterationLimit {
+			sol.Status = IterationLimit
+			return sol, fmt.Errorf("%w (phase 1 after %d pivots)", ErrIterationLimit, t.pivots)
+		}
+		// Phase 1 cannot be unbounded: the objective is bounded below by 0.
+		if t.objective() > feasTol*float64(1+sf.m) {
+			sol.Status = Infeasible
+			return sol, fmt.Errorf("%w (artificial residual %g)", ErrInfeasible, t.objective())
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: minimize the true objective.
+	t.setObjective(sf.cost)
+	st := t.iterate(maxPivots)
+	sol.Pivots = t.pivots
+	switch st {
+	case Unbounded:
+		sol.Status = Unbounded
+		return sol, fmt.Errorf("%w (after %d pivots)", ErrUnbounded, t.pivots)
+	case IterationLimit:
+		sol.Status = IterationLimit
+		return sol, fmt.Errorf("%w (phase 2 after %d pivots)", ErrIterationLimit, t.pivots)
+	}
+
+	x := t.extract()
+	point := sf.recoverPoint(x)
+	copy(sol.values, point)
+	// Compute the objective in model space rather than from the running
+	// tableau value, shedding accumulated round-off.
+	sol.Objective = m.Eval(point)
+
+	// Duals: the reduced cost of each row's initial basic column encodes
+	// y_i because those columns formed the identity matrix.
+	for ci, r := range sf.rowOfCons {
+		col := sf.basisColOfRow(r)
+		y := -t.obj[col]
+		y *= sf.rowSign[r]
+		if sf.negate {
+			y = -y
+		}
+		sol.duals[ci] = y
+	}
+	sol.Status = Optimal
+	return sol, nil
+}
+
+// basisColOfRow returns the column that held row r's +1 entry of the
+// initial identity basis (its slack or artificial column).
+func (sf *standardForm) basisColOfRow(r int) int {
+	return sf.basis[r]
+}

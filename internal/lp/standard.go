@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// substKind records how a model variable was rewritten into standard-form
+// (nonnegative) columns.
+type substKind int
+
+const (
+	// substShift: x = lo + u with u >= 0 (finite lower bound).
+	substShift substKind = iota
+	// substMirror: x = hi - u with u >= 0 (finite upper bound only).
+	substMirror
+	// substSplit: x = u - w with u, w >= 0 (free variable).
+	substSplit
+)
+
+type subst struct {
+	kind   substKind
+	col    int     // primary standard column
+	negCol int     // second column for substSplit
+	offset float64 // lo for substShift, hi for substMirror
+}
+
+// standardForm is the canonical problem: minimize cost·x subject to
+// A x = b, x >= 0, b >= 0, expressed as a dense tableau ready for the
+// simplex method.
+type standardForm struct {
+	m, n int // rows, total columns (structural + slack + artificial)
+
+	a    [][]float64 // m rows of n coefficients
+	b    []float64   // right-hand sides, all >= 0
+	cost []float64   // phase-2 costs per column
+
+	nStruct int   // structural columns (model variables after substitution)
+	artCols []int // artificial column indices
+	isArt   []bool
+
+	basis []int // basic column per row
+
+	subs      []subst   // per model variable
+	objConst  float64   // constant folded out of the objective
+	negate    bool      // objective was negated (Maximize)
+	rowOfCons []int     // tableau row for each model constraint (-1 if dropped)
+	rowSign   []float64 // +1, or -1 if the row was negated to make b >= 0
+}
+
+// buildStandard converts a Model into standard form. It returns an error
+// only for structurally empty models; bound inconsistencies are rejected
+// earlier by AddVar.
+func buildStandard(m *Model) (*standardForm, error) {
+	if len(m.vars) == 0 {
+		return nil, fmt.Errorf("lp: model has no variables")
+	}
+
+	sf := &standardForm{subs: make([]subst, len(m.vars))}
+
+	// 1. Substitute variables so every structural column is >= 0.
+	// boundRows collects extra "u <= hi-lo" rows for doubly-bounded vars.
+	type boundRow struct {
+		col int
+		ub  float64
+	}
+	var boundRows []boundRow
+	col := 0
+	for i, v := range m.vars {
+		switch {
+		case !math.IsInf(v.lo, -1):
+			sf.subs[i] = subst{kind: substShift, col: col, offset: v.lo}
+			if !math.IsInf(v.hi, 1) {
+				boundRows = append(boundRows, boundRow{col: col, ub: v.hi - v.lo})
+			}
+			col++
+		case !math.IsInf(v.hi, 1):
+			sf.subs[i] = subst{kind: substMirror, col: col, offset: v.hi}
+			col++
+		default:
+			sf.subs[i] = subst{kind: substSplit, col: col, negCol: col + 1}
+			col += 2
+		}
+	}
+	sf.nStruct = col
+
+	// 2. Count slack/artificial needs per constraint row.
+	nRows := len(m.cons) + len(boundRows)
+	rows := make([][]float64, nRows)
+	rhs := make([]float64, nRows)
+	rels := make([]Relation, nRows)
+	sf.rowSign = make([]float64, nRows)
+
+	fill := func(r int, terms []Term, rel Relation, rhsVal float64) {
+		row := make([]float64, sf.nStruct)
+		adj := rhsVal
+		for _, t := range terms {
+			s := sf.subs[t.Var]
+			switch s.kind {
+			case substShift:
+				row[s.col] += t.Coeff
+				adj -= t.Coeff * s.offset
+			case substMirror:
+				row[s.col] -= t.Coeff
+				adj -= t.Coeff * s.offset
+			case substSplit:
+				row[s.col] += t.Coeff
+				row[s.negCol] -= t.Coeff
+			}
+		}
+		sign := 1.0
+		if adj < 0 {
+			sign = -1
+			adj = -adj
+			for j := range row {
+				row[j] = -row[j]
+			}
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[r] = row
+		rhs[r] = adj
+		rels[r] = rel
+		sf.rowSign[r] = sign
+	}
+
+	sf.rowOfCons = make([]int, len(m.cons))
+	for i, c := range m.cons {
+		sf.rowOfCons[i] = i
+		fill(i, c.terms, c.rel, c.rhs)
+	}
+	for k, br := range boundRows {
+		r := len(m.cons) + k
+		fill(r, []Term{{Var: 0, Coeff: 0}}, LE, br.ub) // placeholder, fixed below
+		rows[r][br.col] = 1
+		// A bound row rhs is hi-lo >= 0 because AddVar enforces lo <= hi,
+		// so no sign flip occurred and the coefficient stands as written.
+	}
+
+	// 3. Lay out slack and artificial columns.
+	nSlack := 0
+	for _, rel := range rels {
+		if rel == LE || rel == GE {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, rel := range rels {
+		if rel != LE {
+			nArt++
+		}
+	}
+	sf.m = nRows
+	sf.n = sf.nStruct + nSlack + nArt
+	sf.a = make([][]float64, nRows)
+	sf.b = rhs
+	sf.cost = make([]float64, sf.n)
+	sf.isArt = make([]bool, sf.n)
+	sf.basis = make([]int, nRows)
+
+	// Phase-2 costs for structural columns.
+	negate := m.sense == Maximize
+	sf.negate = negate
+	for i, v := range m.vars {
+		c := v.obj
+		if negate {
+			c = -c
+		}
+		s := sf.subs[i]
+		switch s.kind {
+		case substShift:
+			sf.cost[s.col] += c
+			sf.objConst += v.obj * s.offset
+		case substMirror:
+			sf.cost[s.col] -= c
+			sf.objConst += v.obj * s.offset
+		case substSplit:
+			sf.cost[s.col] += c
+			sf.cost[s.negCol] -= c
+		}
+	}
+
+	slackAt := sf.nStruct
+	artAt := sf.nStruct + nSlack
+	for r := 0; r < nRows; r++ {
+		row := make([]float64, sf.n)
+		copy(row, rows[r])
+		switch rels[r] {
+		case LE:
+			row[slackAt] = 1
+			sf.basis[r] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			sf.isArt[artAt] = true
+			sf.artCols = append(sf.artCols, artAt)
+			sf.basis[r] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			sf.isArt[artAt] = true
+			sf.artCols = append(sf.artCols, artAt)
+			sf.basis[r] = artAt
+			artAt++
+		}
+		sf.a[r] = row
+	}
+	return sf, nil
+}
+
+// recoverPoint maps a standard-form column vector back to model-variable
+// values.
+func (sf *standardForm) recoverPoint(x []float64) []float64 {
+	out := make([]float64, len(sf.subs))
+	for i, s := range sf.subs {
+		switch s.kind {
+		case substShift:
+			out[i] = s.offset + x[s.col]
+		case substMirror:
+			out[i] = s.offset - x[s.col]
+		case substSplit:
+			out[i] = x[s.col] - x[s.negCol]
+		}
+	}
+	return out
+}

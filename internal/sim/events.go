@@ -1,0 +1,51 @@
+package sim
+
+const (
+	// evStreamArrival is a fresh client request from a proxy's own stream.
+	evStreamArrival = iota
+	// evRedirectArrival is a request redirected from another proxy.
+	evRedirectArrival
+	// evDeparture is the completion of a proxy's in-service request.
+	evDeparture
+	// evResume fires at an outage's end so the proxy restarts its queue.
+	evResume
+)
+
+// event is one entry of the simulation's priority queue.
+type event struct {
+	t     float64
+	kind  int
+	proxy int
+	work  float64 // service work for arrivals
+	orig  float64 // original client arrival time for redirects
+	home  int     // client's home proxy for redirects
+}
+
+// eventQueue is a binary min-heap of events ordered by time, with kind as
+// a deterministic tie-breaker (departures before arrivals at equal times,
+// so a server frees up before the simultaneous arrival is placed).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind > q[j].kind // evDeparture (2) first
+	}
+	return q[i].proxy < q[j].proxy
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

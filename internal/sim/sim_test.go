@@ -1,0 +1,608 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// scaledWorkload returns a coarse workload (k=20) for fast tests.
+func scaledWorkload() (trace.Profile, trace.ServiceModel) {
+	return ScaleWorkload(trace.BerkeleyLike(), trace.PaperServiceModel(), 20)
+}
+
+func TestRunNoSharingSingleProxy(t *testing.T) {
+	p, m := scaledWorkload()
+	res, err := Run(Config{
+		NumProxies: 1,
+		Profile:    p,
+		Service:    m,
+		Horizon:    trace.Day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests simulated")
+	}
+	if res.Redirected != 0 || res.Consults != 0 {
+		t.Errorf("no-sharing run consulted the scheduler: %d consults, %d redirects", res.Consults, res.Redirected)
+	}
+	// The midnight peak must show heavy queueing; the early morning must
+	// be nearly idle. Slot of hour h: h*3600/600.
+	peakWait := res.Wait.Mean(0) // slot at midnight
+	morningWait := res.Wait.Mean(int(7 * 3600 / 600))
+	if peakWait < 10 {
+		t.Errorf("peak-slot wait %g too small; overload not reproduced", peakWait)
+	}
+	if morningWait > 5 {
+		t.Errorf("morning wait %g too large; system should recover", morningWait)
+	}
+}
+
+// TestRunMatchesLindley cross-checks the event engine against a direct
+// Lindley-recursion computation of FIFO single-server waits.
+func TestRunMatchesLindley(t *testing.T) {
+	p, m := scaledWorkload()
+	horizon := 6 * 3600.0
+	res, err := Run(Config{
+		NumProxies: 1,
+		Profile:    p,
+		Service:    m,
+		Horizon:    horizon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := trace.NewStream(p, 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		busyUntil float64
+		sum       float64
+		n         int
+		worst     float64
+	)
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		wait := busyUntil - r.Arrival
+		if wait < 0 {
+			wait = 0
+		}
+		start := r.Arrival + wait
+		busyUntil = start + m.Cost(r.Length)
+		sum += wait
+		if wait > worst {
+			worst = wait
+		}
+		n++
+	}
+	if n != res.Requests {
+		t.Fatalf("request counts differ: engine %d, Lindley %d", res.Requests, n)
+	}
+	if math.Abs(res.Overall.Mean()-sum/float64(n)) > 1e-6 {
+		t.Errorf("mean wait: engine %g, Lindley %g", res.Overall.Mean(), sum/float64(n))
+	}
+	if math.Abs(res.Overall.Max()-worst) > 1e-6 {
+		t.Errorf("max wait: engine %g, Lindley %g", res.Overall.Max(), worst)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, m := scaledWorkload()
+	planner, err := CompletePlanner(3, 0.1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		NumProxies: 3,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(3, 3600),
+		Horizon:    6 * 3600,
+		Planner:    planner,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != b.Requests || a.Redirected != b.Redirected ||
+		math.Abs(a.Overall.Mean()-b.Overall.Mean()) > 1e-12 {
+		t.Errorf("non-deterministic: %+v vs %+v", a.Overall.Mean(), b.Overall.Mean())
+	}
+}
+
+func TestSharingReducesPeakWaits(t *testing.T) {
+	// Mini Figure 6: skewed proxies with complete-graph sharing should see
+	// far lower peak waits than the same workload without sharing.
+	p, m := scaledWorkload()
+	n := 4
+	base := Config{
+		NumProxies: n,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(n, 6*3600), // spread rush hours far apart
+		Horizon:    trace.Day,
+	}
+	noShare, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := CompletePlanner(n, 0.25, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := base
+	shared.Planner = planner
+	withShare, err := Run(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withShare.Redirected == 0 {
+		t.Fatal("sharing run redirected nothing; scheduler not engaged")
+	}
+	if withShare.WorstSlotWait() > noShare.WorstSlotWait()*0.5 {
+		t.Errorf("sharing worst slot wait %g not well below no-sharing %g",
+			withShare.WorstSlotWait(), noShare.WorstSlotWait())
+	}
+	if withShare.Overall.Mean() > noShare.Overall.Mean() {
+		t.Errorf("sharing mean %g worse than no-sharing %g",
+			withShare.Overall.Mean(), noShare.Overall.Mean())
+	}
+}
+
+func TestTransitivityHelpsOnLoop(t *testing.T) {
+	// Mini Figures 9–11: on a loop whose direct neighbor is only one hour
+	// away (and therefore busy at almost the same time), deeper
+	// transitivity reaches proxies further away in time and lowers the
+	// worst waits substantially.
+	p, m := scaledWorkload()
+	n := 8
+	base := Config{
+		NumProxies: n,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(n, 3*3600), // rush hours spread over 21 h
+		Horizon:    trace.Day,
+	}
+	lvl1Planner, err := LoopPlanner(n, 1, 0.8, core.Config{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvlNPlanner, err := LoopPlanner(n, 1, 0.8, core.Config{Level: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := base
+	cfg1.Planner = lvl1Planner
+	lvl1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgN := base
+	cfgN.Planner = lvlNPlanner
+	lvlN, err := Run(cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvlN.WorstSlotWait() > lvl1.WorstSlotWait()*0.8 {
+		t.Errorf("full-level worst wait %g should be well below level-1 %g",
+			lvlN.WorstSlotWait(), lvl1.WorstSlotWait())
+	}
+}
+
+func TestRedirectedFractionSmall(t *testing.T) {
+	// The paper reports < 1.5% of requests redirected overall on the
+	// complete graph (< 6% at peak). Assert the same order of magnitude.
+	p, m := scaledWorkload()
+	n := 4
+	planner, err := CompletePlanner(n, 0.1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		NumProxies: n,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(n, 3600),
+		Horizon:    trace.Day,
+		Planner:    planner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.RedirectedFraction(); f > 0.25 {
+		t.Errorf("redirected fraction %g unreasonably high", f)
+	}
+	if res.PeakRedirectedFraction() < res.RedirectedFraction() {
+		t.Error("peak redirected fraction below overall fraction")
+	}
+}
+
+func TestRedirectCostConsumesRemoteCapacity(t *testing.T) {
+	p, m := scaledWorkload()
+	n := 3
+	planner, err := CompletePlanner(n, 0.3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		NumProxies: n,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(n, 8*3600),
+		Horizon:    trace.Day,
+		Planner:    planner,
+	}
+	free, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly := base
+	costly.RedirectCost = 4 * m.A // deliberately large to see an effect
+	paid, err := Run(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Redirected == 0 {
+		t.Skip("no redirects in this configuration")
+	}
+	// Costly redirection cannot *improve* the overall mean.
+	if paid.Overall.Mean() < free.Overall.Mean()-1e-9 {
+		t.Errorf("adding redirect cost improved mean wait: %g -> %g",
+			free.Overall.Mean(), paid.Overall.Mean())
+	}
+}
+
+func TestWarmupWindow(t *testing.T) {
+	p, m := scaledWorkload()
+	res, err := Run(Config{
+		NumProxies: 1,
+		Profile:    p,
+		Service:    m,
+		Horizon:    8 * 3600,
+		Warmup:     2 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reported window is 6 hours => 36 ten-minute slots.
+	if res.Wait.Slots() != 36 {
+		t.Errorf("got %d slots, want 36", res.Wait.Slots())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, m := scaledWorkload()
+	bad := []Config{
+		{NumProxies: 0, Profile: p, Service: m, Horizon: 100},
+		{NumProxies: 1, Profile: p, Service: m, Horizon: 0},
+		{NumProxies: 1, Profile: p, Service: m, Horizon: 100, Warmup: 100},
+		{NumProxies: 2, Profile: p, Service: m, Horizon: 100, Speed: []float64{1, 2, 3}},
+		{NumProxies: 1, Profile: p, Service: m, Horizon: 100, Speed: []float64{-1}},
+		{NumProxies: 2, Profile: p, Service: m, Horizon: 100, Skew: []float64{0}},
+		{NumProxies: 1, Profile: p, Service: m, Horizon: 100, RedirectCost: -1},
+		{NumProxies: 1, Profile: p, Service: m, Horizon: 100, Threshold: 2, TargetBacklog: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSpeedBroadcast(t *testing.T) {
+	p, m := scaledWorkload()
+	fast, err := Run(Config{
+		NumProxies: 1,
+		Profile:    p,
+		Service:    m,
+		Horizon:    12 * 3600,
+		Speed:      []float64{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(Config{
+		NumProxies: 1,
+		Profile:    p,
+		Service:    m,
+		Horizon:    12 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Overall.Mean() >= slow.Overall.Mean() {
+		t.Errorf("doubling capacity did not reduce mean wait: %g vs %g",
+			fast.Overall.Mean(), slow.Overall.Mean())
+	}
+}
+
+func TestLoopPlannerValidation(t *testing.T) {
+	if _, err := LoopPlanner(10, 0, 0.8, core.Config{}); err == nil {
+		t.Error("skip 0 accepted")
+	}
+	if _, err := LoopPlanner(10, 5, 0.8, core.Config{}); err == nil {
+		t.Error("skip sharing a factor with n accepted")
+	}
+	if _, err := LoopPlanner(10, 3, 0.8, core.Config{}); err != nil {
+		t.Errorf("valid skip rejected: %v", err)
+	}
+}
+
+func TestScaleWorkloadPreservesUtilization(t *testing.T) {
+	p0, m0 := trace.BerkeleyLike(), trace.PaperServiceModel()
+	p1, m1 := ScaleWorkload(p0, m0, 10)
+	rho0 := p0.PeakRate * m0.MeanCost(p0)
+	rho1 := p1.PeakRate * m1.MeanCost(p1)
+	if math.Abs(rho0-rho1) > 0.02*rho0 {
+		t.Errorf("peak utilization changed: %g -> %g", rho0, rho1)
+	}
+}
+
+func TestScaleWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ScaleWorkload(0) should panic")
+		}
+	}()
+	ScaleWorkload(trace.BerkeleyLike(), trace.PaperServiceModel(), 0)
+}
+
+func TestSkewVector(t *testing.T) {
+	v := SkewVector(3, 100)
+	want := []float64{0, 100, 200}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("SkewVector[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+}
+
+func TestReplayedTraceMatchesSyntheticRun(t *testing.T) {
+	// Recording the synthetic streams and replaying them must reproduce
+	// the simulation exactly.
+	p, m := scaledWorkload()
+	horizon := 6 * 3600.0
+	live, err := Run(Config{NumProxies: 2, Profile: p, Service: m,
+		Skew: SkewVector(2, 3600), Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]trace.Source, 2)
+	for i := range sources {
+		s, err := trace.NewStream(p, float64(i)*3600, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = trace.NewSliceSource(trace.Record(s))
+	}
+	replayed, err := Run(Config{NumProxies: 2, Service: m,
+		Sources: sources, Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Requests != replayed.Requests {
+		t.Fatalf("request counts differ: %d vs %d", live.Requests, replayed.Requests)
+	}
+	if math.Abs(live.Overall.Mean()-replayed.Overall.Mean()) > 1e-9 {
+		t.Errorf("mean waits differ: %g vs %g", live.Overall.Mean(), replayed.Overall.Mean())
+	}
+}
+
+func TestSourcesValidation(t *testing.T) {
+	_, m := scaledWorkload()
+	src := trace.NewSliceSource([]trace.Request{{Arrival: 1, Length: 100}})
+	if _, err := Run(Config{NumProxies: 2, Service: m, Horizon: 100,
+		Sources: []trace.Source{src}}); err == nil {
+		t.Error("mismatched source count accepted")
+	}
+}
+
+func TestSourcesBeyondHorizonDropped(t *testing.T) {
+	_, m := scaledWorkload()
+	src := trace.NewSliceSource([]trace.Request{
+		{Arrival: 1, Length: 100},
+		{Arrival: 99, Length: 100},
+		{Arrival: 150, Length: 100}, // beyond the 100 s horizon
+	})
+	res, err := Run(Config{NumProxies: 1, Service: m, Horizon: 100,
+		Sources: []trace.Source{src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2 {
+		t.Errorf("served %d requests, want 2 (one beyond horizon)", res.Requests)
+	}
+}
+
+func TestOutageDelaysRequests(t *testing.T) {
+	// A 30-minute outage on a lone proxy must strand its queue until the
+	// server resumes; everything recovers afterwards.
+	p, m := scaledWorkload()
+	base := Config{NumProxies: 1, Profile: p, Service: m, Horizon: 6 * 3600}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := base
+	broken.Outages = []Outage{{Proxy: 0, Start: 3600, End: 3600 + 1800}}
+	hurt, err := Run(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hurt.Requests != healthy.Requests {
+		t.Fatalf("outage changed request count: %d vs %d", hurt.Requests, healthy.Requests)
+	}
+	if hurt.Overall.Mean() <= healthy.Overall.Mean() {
+		t.Errorf("outage should raise mean wait: %g vs %g",
+			hurt.Overall.Mean(), healthy.Overall.Mean())
+	}
+	// The slot right after the outage carries the stranded waits.
+	slotDuring := int(3700 / 600)
+	if hurt.Wait.Mean(slotDuring) < 300 {
+		t.Errorf("waits during outage = %g, expected most of the 1800 s window", hurt.Wait.Mean(slotDuring))
+	}
+}
+
+func TestSharingFailsOverDuringOutage(t *testing.T) {
+	// With agreements, a proxy whose server dies sheds its queue to the
+	// others; mean waits stay far below the stranded no-sharing case.
+	p, m := scaledWorkload()
+	n := 3
+	outage := []Outage{{Proxy: 0, Start: 3600, End: 3600 + 2*3600}}
+	base := Config{
+		NumProxies: n,
+		Profile:    p,
+		Service:    m,
+		Skew:       SkewVector(n, 8*3600),
+		Horizon:    8 * 3600,
+		Outages:    outage,
+	}
+	alone, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := CompletePlanner(n, 0.5, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := base
+	shared.Planner = planner
+	rescued, err := Run(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rescued.Redirected == 0 {
+		t.Fatal("no failover redirects happened")
+	}
+	if rescued.Overall.Mean() > alone.Overall.Mean()*0.5 {
+		t.Errorf("failover mean %g not well below stranded mean %g",
+			rescued.Overall.Mean(), alone.Overall.Mean())
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	p, m := scaledWorkload()
+	bad := []Outage{
+		{Proxy: 5, Start: 0, End: 10},
+		{Proxy: 0, Start: 10, End: 5},
+		{Proxy: 0, Start: -1, End: 5},
+	}
+	for i, o := range bad {
+		if _, err := Run(Config{NumProxies: 1, Profile: p, Service: m,
+			Horizon: 100, Outages: []Outage{o}}); err == nil {
+			t.Errorf("case %d: invalid outage accepted", i)
+		}
+	}
+}
+
+func TestWaitPercentiles(t *testing.T) {
+	p, m := scaledWorkload()
+	res, err := Run(Config{NumProxies: 1, Profile: p, Service: m,
+		Horizon: 6 * 3600, KeepWaits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WaitSample) != res.Requests {
+		t.Fatalf("sample has %d entries for %d requests", len(res.WaitSample), res.Requests)
+	}
+	p50 := res.WaitPercentile(50)
+	p99 := res.WaitPercentile(99)
+	if p99 < p50 {
+		t.Errorf("p99 %g below p50 %g", p99, p50)
+	}
+	if res.WaitPercentile(100) > res.Overall.Max()+1e-9 {
+		t.Errorf("p100 %g exceeds max %g", res.WaitPercentile(100), res.Overall.Max())
+	}
+	// Without KeepWaits the sample is absent and the accessor is safe.
+	res2, err := Run(Config{NumProxies: 1, Profile: p, Service: m, Horizon: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.WaitSample != nil || res2.WaitPercentile(50) != 0 {
+		t.Error("unexpected sample without KeepWaits")
+	}
+}
+
+func TestPlannerScheduleSwitchesEnforcement(t *testing.T) {
+	// Sharing is enabled only from t = 12 h: the early peak suffers like
+	// the no-sharing baseline, later overload is absorbed.
+	p, m := scaledWorkload()
+	n := 3
+	planner, err := CompletePlanner(n, 0.3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		NumProxies:      n,
+		Profile:         p,
+		Service:         m,
+		Skew:            SkewVector(n, 8*3600),
+		Horizon:         trace.Day,
+		PlannerSchedule: []PlannerChange{{At: 12 * 3600, Planner: planner}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redirected == 0 {
+		t.Fatal("no redirects after the agreement came into force")
+	}
+	// Proxy 1 peaks around hour 7.75 (before the switch): its clients see
+	// no-sharing waits. Proxy 2 peaks around hour 15.75: absorbed.
+	peak1 := maxOfSeries(res.PerProxyWait[1].Means())
+	peak2 := maxOfSeries(res.PerProxyWait[2].Means())
+	if peak1 < 10*peak2 {
+		t.Errorf("pre-agreement peak %g should dwarf post-agreement peak %g", peak1, peak2)
+	}
+
+	// The reverse schedule (start shared, revoke at 12 h) flips it.
+	rev, err := Run(Config{
+		NumProxies:      n,
+		Profile:         p,
+		Service:         m,
+		Skew:            SkewVector(n, 8*3600),
+		Horizon:         trace.Day,
+		Planner:         planner,
+		PlannerSchedule: []PlannerChange{{At: 12 * 3600, Planner: nil}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPeak1 := maxOfSeries(rev.PerProxyWait[1].Means())
+	rPeak2 := maxOfSeries(rev.PerProxyWait[2].Means())
+	if rPeak2 < 10*rPeak1 {
+		t.Errorf("post-revocation peak %g should dwarf shared peak %g", rPeak2, rPeak1)
+	}
+}
+
+func TestPlannerScheduleValidation(t *testing.T) {
+	p, m := scaledWorkload()
+	if _, err := Run(Config{
+		NumProxies: 1, Profile: p, Service: m, Horizon: 100,
+		PlannerSchedule: []PlannerChange{{At: 50}, {At: 50}},
+	}); err == nil {
+		t.Error("non-increasing schedule accepted")
+	}
+}
+
+func maxOfSeries(xs []float64) float64 {
+	worst := 0.0
+	for _, x := range xs {
+		if x > worst {
+			worst = x
+		}
+	}
+	return worst
+}

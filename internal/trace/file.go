@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Source produces a proxy's request stream in arrival order. Stream (the
+// synthetic generator) and SliceSource (replay of recorded requests)
+// implement it; the simulator accepts any Source, which is what makes it
+// genuinely trace-driven — record a trace once, replay it under different
+// agreement structures.
+type Source interface {
+	Next() (Request, bool)
+}
+
+var _ Source = (*Stream)(nil)
+
+// SliceSource replays a fixed sequence of requests.
+type SliceSource struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceSource builds a replay source. Requests are sorted by arrival
+// time (a recorded trace is already ordered; sorting makes the source
+// forgiving about concatenated files).
+func NewSliceSource(reqs []Request) *SliceSource {
+	sorted := append([]Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	return &SliceSource{reqs: sorted}
+}
+
+// Next returns the next replayed request.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Len returns the number of requests remaining plus consumed.
+func (s *SliceSource) Len() int { return len(s.reqs) }
+
+// WriteCSV writes requests as "arrival,length" lines (one request per
+// line, '#' comments allowed on read).
+func WriteCSV(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_seconds,response_bytes"); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if _, err := fmt.Fprintf(bw, "%.6f,%.0f\n", r.Arrival, r.Length); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any "arrival,length"
+// file; blank lines and '#' comments are skipped).
+func ReadCSV(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Request
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want \"arrival,length\", got %q", lineNo, line)
+		}
+		arrival, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
+		}
+		length, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad length: %v", lineNo, err)
+		}
+		if arrival < 0 || length < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative field in %q", lineNo, line)
+		}
+		out = append(out, Request{Arrival: arrival, Length: length})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// Record drains a Source into a slice (for writing to a file or building
+// a replayable SliceSource).
+func Record(src Source) []Request {
+	var out []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}

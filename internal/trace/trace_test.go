@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := BerkeleyLike().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	bad := []Profile{
+		{PeakRate: 0, BaseRate: 1, PeakHour: 23, PeakWidth: 2, ParetoAlpha: 1.5, ParetoXm: 100},
+		{PeakRate: 1, BaseRate: 2, PeakHour: 23, PeakWidth: 2, ParetoAlpha: 1.5, ParetoXm: 100},
+		{PeakRate: 2, BaseRate: 1, PeakHour: 25, PeakWidth: 2, ParetoAlpha: 1.5, ParetoXm: 100},
+		{PeakRate: 2, BaseRate: 1, PeakHour: 23, PeakWidth: 0, ParetoAlpha: 1.5, ParetoXm: 100},
+		{PeakRate: 2, BaseRate: 1, PeakHour: 23, PeakWidth: 13, ParetoAlpha: 1.5, ParetoXm: 100},
+		{PeakRate: 2, BaseRate: 1, PeakHour: 23, PeakWidth: 2, ParetoAlpha: 1, ParetoXm: 100},
+		{PeakRate: 2, BaseRate: 1, PeakHour: 23, PeakWidth: 2, ParetoAlpha: 1.5, ParetoXm: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestRateShape(t *testing.T) {
+	p := BerkeleyLike()
+	peak := p.Rate(p.PeakHour * 3600)
+	if math.Abs(peak-p.PeakRate) > 1e-9 {
+		t.Errorf("rate at peak hour = %g, want %g", peak, p.PeakRate)
+	}
+	// Opposite side of the clock is essentially the base rate.
+	opposite := p.Rate(math.Mod(p.PeakHour+12, 24) * 3600)
+	if opposite > p.BaseRate*1.01 {
+		t.Errorf("anti-peak rate %g should be near base %g", opposite, p.BaseRate)
+	}
+	// Midnight (h=0) is near the 23.75 peak: must be close to PeakRate.
+	if r := p.Rate(0); r < 0.95*p.PeakRate {
+		t.Errorf("midnight rate %g should be near the peak %g", r, p.PeakRate)
+	}
+	// One sigma off the peak drops to about 61% of the bump.
+	oneSigma := p.Rate((p.PeakHour - p.PeakWidth) * 3600)
+	want := p.BaseRate + (p.PeakRate-p.BaseRate)*math.Exp(-0.5)
+	if math.Abs(oneSigma-want) > 1e-9 {
+		t.Errorf("one-sigma rate = %g, want %g", oneSigma, want)
+	}
+	// Three hours off the peak the proxy is already mostly idle — the
+	// property the time-zone experiments rely on.
+	threeOff := p.Rate((p.PeakHour - 3) * 3600)
+	if threeOff > 0.45*p.PeakRate {
+		t.Errorf("3h-off-peak rate %g too high; rush hour too broad", threeOff)
+	}
+}
+
+func TestRateWrapsAndBounded(t *testing.T) {
+	p := BerkeleyLike()
+	f := func(tSec float64) bool {
+		tSec = math.Mod(math.Abs(tSec), 10*Day)
+		r := p.Rate(tSec)
+		if r < p.BaseRate-1e-9 || r > p.PeakRate+1e-9 {
+			return false
+		}
+		// 24h periodicity.
+		return math.Abs(p.Rate(tSec)-p.Rate(tSec+Day)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateContinuity(t *testing.T) {
+	// The wrapped Gaussian must be continuous everywhere, including the
+	// wrap point opposite the peak.
+	p := BerkeleyLike()
+	for _, h := range []float64{p.PeakHour, p.PeakHour + 12, 0, 12, 23.999} {
+		before := p.Rate(math.Mod(h+24-1e-7, 24) * 3600)
+		after := p.Rate(math.Mod(h+1e-7, 24) * 3600)
+		if math.Abs(before-after) > 1e-3 {
+			t.Errorf("rate discontinuous at h=%g: %g vs %g", h, before, after)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p := BerkeleyLike()
+	collect := func() []Request {
+		s, err := NewStream(p, 0, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Request
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("no requests in 10 minutes at midnight rates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamOrderedWithinHorizon(t *testing.T) {
+	s, err := NewStream(BerkeleyLike(), 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	n := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		if r.Arrival <= prev {
+			t.Fatalf("arrivals out of order: %g after %g", r.Arrival, prev)
+		}
+		if r.Arrival < 0 || r.Arrival >= 3600 {
+			t.Fatalf("arrival %g outside horizon", r.Arrival)
+		}
+		if r.Length < BerkeleyLike().ParetoXm {
+			t.Fatalf("length %g below Pareto minimum", r.Length)
+		}
+		prev = r.Arrival
+		n++
+	}
+	// Around midnight the rate is ~10/s: expect thousands of requests.
+	if n < 1000 {
+		t.Errorf("only %d requests in the first simulated hour", n)
+	}
+}
+
+func TestStreamRateMatchesProfile(t *testing.T) {
+	// Empirical arrival counts over a window should match the integrated
+	// rate within sampling noise.
+	p := BerkeleyLike()
+	s, err := NewStream(p, 0, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	var expected float64
+	for tt := 0.0; tt < 7200; tt += 1 {
+		expected += p.Rate(tt)
+	}
+	if math.Abs(float64(count)-expected) > 4*math.Sqrt(expected) {
+		t.Errorf("got %d arrivals, expected %.0f ± %.0f", count, expected, 4*math.Sqrt(expected))
+	}
+}
+
+func TestSkewShiftsRushHour(t *testing.T) {
+	// With a 6-hour skew, the proxy's local peak (23.75) happens 6 hours
+	// later in global time.
+	p := BerkeleyLike()
+	skew := 6 * 3600.0
+	local := math.Mod(p.PeakHour*3600+skew, Day) - skew
+	if r := p.Rate(local); math.Abs(r-p.PeakRate) > 1e-9 {
+		t.Errorf("skewed peak rate = %g, want %g", r, p.PeakRate)
+	}
+}
+
+func TestSkewedStreamsDiffer(t *testing.T) {
+	p := BerkeleyLike()
+	s0, err := NewStream(p, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewStream(p, 6*3600, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := 0, 0
+	for {
+		if _, ok := s0.Next(); !ok {
+			break
+		}
+		n0++
+	}
+	for {
+		if _, ok := s1.Next(); !ok {
+			break
+		}
+		n1++
+	}
+	// Stream 0 is at its rush hour at global midnight; stream 1's local
+	// time is 18:00, well off peak: it must see far fewer arrivals.
+	if n0 < 1000 {
+		t.Errorf("unskewed stream too sparse: %d", n0)
+	}
+	if n1 >= n0 {
+		t.Errorf("skewed stream (%d) should be sparser than unskewed (%d)", n1, n0)
+	}
+}
+
+func TestServiceModel(t *testing.T) {
+	m := PaperServiceModel()
+	if got := m.Cost(0); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Cost(0) = %g, want 0.1", got)
+	}
+	if got := m.Cost(1e6); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("Cost(1MB) = %g, want 1.1", got)
+	}
+	if got := m.Cost(1e9); got != 30 {
+		t.Errorf("Cost(1GB) = %g, want capped 30", got)
+	}
+}
+
+func TestMeanCostCalibration(t *testing.T) {
+	// The default profile must put the mean service time near 0.1–0.15 s
+	// so that the redirection costs of Figure 12 (0.1 s, 0.2 s) are
+	// "approximately the same as or double the average processing time".
+	p := BerkeleyLike()
+	m := PaperServiceModel()
+	mean := m.MeanCost(p)
+	if mean < 0.1 || mean > 0.16 {
+		t.Errorf("mean service time %g outside the calibrated band [0.1, 0.16]", mean)
+	}
+	// Peak utilization must exceed 1 (overload) for the no-sharing
+	// baseline to exhibit the paper's 100+ second waits.
+	if rho := p.PeakRate * mean; rho < 1.02 {
+		t.Errorf("peak utilization %g too low to reproduce overload", rho)
+	}
+	// And the daily average must stay below 1 so the system recovers.
+	var avgRate float64
+	const steps = 2400
+	for i := 0; i < steps; i++ {
+		avgRate += p.Rate(Day * float64(i) / steps)
+	}
+	avgRate /= steps
+	if rho := avgRate * mean; rho > 0.95 {
+		t.Errorf("daily average utilization %g too high; queue would never drain", rho)
+	}
+}
+
+func TestMeanLength(t *testing.T) {
+	p := BerkeleyLike()
+	want := p.ParetoAlpha * p.ParetoXm / (p.ParetoAlpha - 1)
+	if math.Abs(p.MeanLength()-want) > 1e-9 {
+		t.Errorf("MeanLength = %g, want %g", p.MeanLength(), want)
+	}
+}
+
+func TestNewStreamErrors(t *testing.T) {
+	if _, err := NewStream(Profile{}, 0, 100); err == nil {
+		t.Error("zero profile accepted")
+	}
+	if _, err := NewStream(BerkeleyLike(), 0, -5); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, err := NewStream(BerkeleyLike(), 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Record(s)
+	if len(reqs) == 0 {
+		t.Fatal("empty trace")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(reqs) {
+		t.Fatalf("round trip changed count: %d vs %d", len(parsed), len(reqs))
+	}
+	for i := range reqs {
+		if math.Abs(parsed[i].Arrival-reqs[i].Arrival) > 1e-5 {
+			t.Fatalf("arrival %d drifted: %g vs %g", i, parsed[i].Arrival, reqs[i].Arrival)
+		}
+		if math.Abs(parsed[i].Length-reqs[i].Length) > 1 {
+			t.Fatalf("length %d drifted: %g vs %g", i, parsed[i].Length, reqs[i].Length)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"one,two,three,oops\n", // parses as arrival="one" -> error
+		"1.0\n",                // missing field
+		"abc,100\n",            // bad arrival
+		"1.0,xyz\n",            // bad length
+		"-1,100\n",             // negative arrival
+		"1,-100\n",             // negative length
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted", src)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# header\n\n1.5,2048\n"
+	reqs, err := ReadCSV(strings.NewReader(ok))
+	if err != nil || len(reqs) != 1 {
+		t.Errorf("ReadCSV comment handling: %v, %v", reqs, err)
+	}
+}
+
+func TestSliceSourceOrdersRequests(t *testing.T) {
+	src := NewSliceSource([]Request{{Arrival: 5, Length: 1}, {Arrival: 2, Length: 2}, {Arrival: 9, Length: 3}})
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	prev := -1.0
+	count := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Arrival < prev {
+			t.Fatalf("out of order: %g after %g", r.Arrival, prev)
+		}
+		prev = r.Arrival
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("replayed %d requests, want 3", count)
+	}
+}

@@ -1,0 +1,79 @@
+package transitive
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation bench: exact simple-path enumeration vs the matrix-power
+// approximation (DESIGN.md calls this choice out). Exact is exponential
+// in dense graphs but exact; Approx is O(level·n³).
+
+func benchMatrix(n int, density float64) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j && rng.Float64() < density {
+				s[i][j] = rng.Float64() * 0.3
+			}
+		}
+	}
+	return s
+}
+
+func BenchmarkExactComplete10(b *testing.B) {
+	s := benchMatrix(10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(s, 9)
+	}
+}
+
+func BenchmarkExactComplete11(b *testing.B) {
+	// Each added node multiplies the dense-graph path count by ~n; this
+	// size is the practical ceiling for exact enumeration (~2 s/op).
+	s := benchMatrix(11, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(s, 10)
+	}
+}
+
+func BenchmarkExactSparse30(b *testing.B) {
+	s := benchMatrix(30, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(s, 29)
+	}
+}
+
+func BenchmarkApproxComplete10(b *testing.B) {
+	s := benchMatrix(10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approx(s, 9)
+	}
+}
+
+func BenchmarkApproxComplete100(b *testing.B) {
+	s := benchMatrix(100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approx(s, 99)
+	}
+}
+
+func BenchmarkCapacities10(b *testing.B) {
+	s := benchMatrix(10, 1)
+	t := Cap(Exact(s, 9))
+	v := make([]float64, 10)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Capacities(v, t, nil)
+	}
+}

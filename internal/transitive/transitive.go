@@ -1,0 +1,286 @@
+// Package transitive computes the transitive availability of resources
+// through chained sharing agreements (Section 3.1 of the paper).
+//
+// Given the relative agreement matrix S (S[i][j] = fraction of principal
+// i's resources shared with j), the flow coefficient
+//
+//	T_ij^(m) = Σ over cycle-free chains i -> k1 -> ... -> j of length <= m
+//	           of S[i][k1]·S[k1][k2]·...·S[k_{m-1}][j]
+//
+// determines the resource amount I_ij = V_i · T_ij that principal i's
+// capacity contributes to principal j. The chain constraint (all nodes
+// distinct) makes exact computation a simple-path enumeration, which this
+// package performs by depth-first search — exact and fast for the paper's
+// scales (n around 10–20). An Approx variant uses plain matrix powers,
+// which overcounts cycles but scales polynomially; the two agree on
+// cycle-free graphs and Approx is always an upper bound.
+//
+// The package also implements the two extensions of Section 3.2:
+//
+//   - overdraft capping K_ij = min(T_ij, 1), used when the Σ_k S_ik <= 1
+//     restriction is lifted, so nobody can receive more than a source owns;
+//   - the absolute-agreement cap U_ki = min(I_ki + A_ki, V_k) and the
+//     resulting capacity C_i = V_i + Σ_{k≠i} U_ki.
+package transitive
+
+import (
+	"fmt"
+)
+
+// Validate checks that S is a square agreement matrix with a zero
+// diagonal and non-negative entries. It does NOT enforce row sums <= 1;
+// the paper's overdraft extension deliberately lifts that restriction and
+// capping handles it.
+func Validate(s [][]float64) error {
+	n := len(s)
+	for i, row := range s {
+		if len(row) != n {
+			return fmt.Errorf("transitive: S is not square: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if row[i] != 0 {
+			return fmt.Errorf("transitive: S[%d][%d] = %g, diagonal must be zero", i, i, row[i])
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("transitive: S[%d][%d] = %g, entries must be non-negative", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Exact computes the flow-coefficient matrix T^(maxLen) by enumerating
+// every cycle-free agreement chain of at most maxLen edges. maxLen is the
+// paper's "level of transitivity": 1 enforces only direct agreements, and
+// n-1 is the full transitive closure. Values of maxLen < 1 or > n-1 are
+// clamped. Exact panics if Validate(s) fails; validate untrusted input
+// first.
+func Exact(s [][]float64, maxLen int) [][]float64 {
+	if err := Validate(s); err != nil {
+		panic(err)
+	}
+	n := len(s)
+	maxLen = clampLevel(maxLen, n)
+	t := zeros(n)
+	visited := make([]bool, n)
+
+	var dfs func(src, cur int, depth int, product float64)
+	dfs = func(src, cur, depth int, product float64) {
+		if depth == maxLen {
+			return
+		}
+		for next := 0; next < n; next++ {
+			if visited[next] || s[cur][next] == 0 {
+				continue
+			}
+			p := product * s[cur][next]
+			t[src][next] += p
+			visited[next] = true
+			dfs(src, next, depth+1, p)
+			visited[next] = false
+		}
+	}
+	for src := 0; src < n; src++ {
+		visited[src] = true
+		dfs(src, src, 0, 1)
+		visited[src] = false
+	}
+	return t
+}
+
+// Approx computes Σ_{k=1..maxLen} S^k — the matrix-power approximation of
+// T^(maxLen). It counts walks rather than simple paths, so on cyclic
+// graphs it overcounts (it is an upper bound on Exact); on DAGs the two
+// are identical. Cost is O(maxLen · n³). Approx panics if Validate(s)
+// fails.
+func Approx(s [][]float64, maxLen int) [][]float64 {
+	if err := Validate(s); err != nil {
+		panic(err)
+	}
+	n := len(s)
+	maxLen = clampLevel(maxLen, n)
+	sum := zeros(n)
+	power := zeros(n)
+	for i := range power {
+		copy(power[i], s[i])
+	}
+	add(sum, power)
+	for k := 2; k <= maxLen; k++ {
+		power = matmul(power, s)
+		add(sum, power)
+	}
+	return sum
+}
+
+// Cap applies the overdraft rule of Section 3.2: K_ij = min(T_ij, 1). The
+// input is not modified.
+func Cap(t [][]float64) [][]float64 {
+	out := zeros(len(t))
+	for i, row := range t {
+		for j, v := range row {
+			if v > 1 {
+				v = 1
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// Flows returns I[i][j] = V[i] · T[i][j], the amount of principal i's
+// capacity available to principal j through chained agreements.
+func Flows(v []float64, t [][]float64) [][]float64 {
+	if len(v) != len(t) {
+		panic(fmt.Sprintf("transitive: Flows: %d capacities for %d×%d T", len(v), len(t), len(t)))
+	}
+	out := zeros(len(t))
+	for i, row := range t {
+		for j, tij := range row {
+			out[i][j] = v[i] * tij
+		}
+	}
+	return out
+}
+
+// SourceCaps returns the matrix U of Section 3.2:
+//
+//	U[k][i] = min(I_ki + A_ki, V_k)
+//
+// the amount of principal k's capacity usable by principal i, combining
+// relative flows and absolute agreements but never exceeding what k owns.
+// A may be nil, meaning no absolute agreements.
+func SourceCaps(v []float64, t, a [][]float64) [][]float64 {
+	n := len(v)
+	if len(t) != n || (a != nil && len(a) != n) {
+		panic(fmt.Sprintf("transitive: SourceCaps: inconsistent sizes V=%d T=%d A=%d", n, len(t), len(a)))
+	}
+	out := zeros(n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if k == i {
+				continue
+			}
+			u := v[k] * t[k][i]
+			if a != nil {
+				u += a[k][i]
+			}
+			if u > v[k] {
+				u = v[k]
+			}
+			out[k][i] = u
+		}
+	}
+	return out
+}
+
+// Capacities returns C_i = V_i + Σ_{k≠i} U_ki: the total resource amount
+// available to each principal, directly and transitively. A may be nil.
+func Capacities(v []float64, t, a [][]float64) []float64 {
+	u := SourceCaps(v, t, a)
+	out := make([]float64, len(v))
+	for i := range v {
+		c := v[i]
+		for k := range v {
+			if k != i {
+				c += u[k][i]
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// WithinBudget reports whether exact enumeration of cycle-free chains up
+// to maxLen would perform at most `budget` DFS steps. It runs the same
+// traversal as Exact but only counts, aborting as soon as the budget is
+// exceeded, so its own cost is bounded by the budget. Callers use it to
+// fail fast (suggesting Approx) instead of launching an astronomically
+// exponential enumeration on a dense graph.
+func WithinBudget(s [][]float64, maxLen int, budget int) bool {
+	if err := Validate(s); err != nil {
+		panic(err)
+	}
+	n := len(s)
+	maxLen = clampLevel(maxLen, n)
+	visited := make([]bool, n)
+	steps := 0
+
+	var dfs func(cur, depth int) bool
+	dfs = func(cur, depth int) bool {
+		if depth == maxLen {
+			return true
+		}
+		for next := 0; next < n; next++ {
+			if visited[next] || s[cur][next] == 0 {
+				continue
+			}
+			steps++
+			if steps > budget {
+				return false
+			}
+			visited[next] = true
+			ok := dfs(next, depth+1)
+			visited[next] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for src := 0; src < n; src++ {
+		visited[src] = true
+		ok := dfs(src, 0)
+		visited[src] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func clampLevel(level, n int) int {
+	if level < 1 {
+		return 1
+	}
+	if level > n-1 {
+		if n <= 1 {
+			return 1
+		}
+		return n - 1
+	}
+	return level
+}
+
+func zeros(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+func add(dst, src [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += src[i][j]
+		}
+	}
+}
+
+func matmul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := zeros(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k]
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * row[j]
+			}
+		}
+	}
+	return out
+}

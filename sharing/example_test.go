@@ -1,0 +1,69 @@
+package sharing_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sharing"
+)
+
+// Example reproduces the paper's Example 1 (Figure 1): two resource
+// owners, an absolute agreement, and chained relative agreements whose
+// transitive value reaches principal D.
+func Example() {
+	c := sharing.NewCommunity()
+	a := c.AddPrincipal("A")
+	b := c.AddPrincipal("B")
+	cc := c.AddPrincipal("C")
+	d := c.AddPrincipal("D")
+
+	if err := c.AddResource(a, "disk", 10); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddResource(b, "disk", 15); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareQuantity(a, cc, "disk", 3); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareFraction(a, b, 0.5); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareFraction(b, d, 0.6); err != nil {
+		log.Fatal(err)
+	}
+
+	values, err := c.Values("disk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []sharing.Principal{a, b, cc, d} {
+		fmt.Printf("%s=%.0f ", c.Name(p), values[p])
+	}
+	fmt.Println()
+	// Output: A=10 B=20 C=3 D=12
+}
+
+// ExampleCommunity_Allocate shows the enforcement side: the LP scheduler
+// picks sources for a request, honoring the agreement caps.
+func ExampleCommunity_Allocate() {
+	c := sharing.NewCommunity()
+	a := c.AddPrincipal("A")
+	b := c.AddPrincipal("B")
+	if err := c.AddResource(a, "cpu", 10); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddResource(b, "cpu", 20); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.ShareFraction(b, a, 0.5); err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := c.Allocate(a, "cpu", 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("from A: %.0f, from B: %.0f\n", plan.Take[a], plan.Take[b])
+	// Output: from A: 10, from B: 8
+}
