@@ -1,0 +1,30 @@
+# Build/verify entry points. `make check` is the CI gate: vet plus the
+# full test suite with the race detector (the grm protocol layer's
+# reconnect/reaper/federation paths are concurrency-heavy and must stay
+# honest under -race).
+
+GO ?= go
+
+.PHONY: build test race check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the concurrency-critical packages plus a plain run
+# of everything else (LP/sim benches are pure-CPU and slow under -race).
+race:
+	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/...
+
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/grm/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

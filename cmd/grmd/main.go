@@ -6,9 +6,14 @@
 //
 //	grmd -listen :7070 -level 0
 //	grmd -listen :7071 -parent host:7070 -name cluster-east
+//	grmd -listen :7070 -lease-ttl 5m -idle-timeout 10m
 //
 // With -parent, the GRM attaches to a higher-level GRM as one aggregated
-// principal, realizing the paper's multi-level GRM architecture.
+// principal, realizing the paper's multi-level GRM architecture; the
+// attach is retried with backoff while the parent comes up, and the link
+// reconnects (re-registering under the same cluster name) if it later
+// dies. -lease-ttl reclaims allocations whose holder vanished without
+// releasing; clients keep long-lived leases with Renew.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
@@ -33,11 +39,18 @@ func main() {
 		name       = flag.String("name", "cluster", "cluster name when attaching to a parent")
 		agreements = flag.String("agreements", "", "JSON agreements snapshot to preload (see internal/agreement.Snapshot)")
 		status     = flag.String("status", "", "optional HTTP address serving the JSON status view (e.g. :8080)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim unreleased leases after this TTL (0 = leases never expire)")
+		idle       = flag.Duration("idle-timeout", 0, "drop LRM connections quiet for longer than this (0 = unlimited)")
+		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-operation deadline on the parent link and response writes")
+		retries    = flag.Int("retries", 5, "reconnect rounds per failed parent-link operation")
+		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial parent-link reconnect backoff (doubles, jittered)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "grmd ", log.LstdFlags)
 	server := grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
+	server.SetLeaseTTL(*leaseTTL)
+	server.SetTimeouts(*idle, *ioTimeout)
 
 	if *agreements != "" {
 		f, err := os.Open(*agreements)
@@ -74,9 +87,24 @@ func main() {
 	}
 
 	if *parent != "" {
-		if err := server.AttachParent(*parent, *name); err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
-			os.Exit(1)
+		cfg := grm.DefaultDialConfig()
+		cfg.Timeout = *ioTimeout
+		cfg.RetryMax = *retries
+		cfg.Backoff = *backoff
+		// The parent may still be coming up; retry the initial attach with
+		// the same backoff policy the link uses afterwards.
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = server.AttachParentConfig(*parent, *name, cfg); err == nil {
+				break
+			}
+			if attempt >= *retries {
+				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+				os.Exit(1)
+			}
+			wait := *backoff << attempt
+			logger.Printf("attach to parent %s failed (%v), retrying in %v", *parent, err, wait)
+			time.Sleep(wait)
 		}
 		logger.Printf("attached to parent GRM at %s as %q", *parent, *name)
 	}

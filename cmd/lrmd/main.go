@@ -4,11 +4,17 @@
 // fire a one-shot allocation request — a minimal command-line face for
 // the LRM client library.
 //
+// The connection is managed under a failure policy: every operation has a
+// deadline, and a dead connection is transparently redialed with
+// exponential backoff, re-registering under the same name and replaying
+// the last availability report.
+//
 // Usage:
 //
 //	lrmd -grm localhost:7070 -name siteA -capacity 100
 //	lrmd -grm localhost:7070 -name siteB -capacity 50 -share 0:0.3
-//	lrmd -grm localhost:7070 -name siteC -capacity 0 -alloc 20
+//	lrmd -grm localhost:7070 -name siteC -capacity 0 -alloc 20 -hold 30s
+//	lrmd -grm localhost:7070 -name siteD -timeout 2s -retries 5 -report 10s
 package main
 
 import (
@@ -29,11 +35,20 @@ func main() {
 		capacity = flag.Float64("capacity", 100, "resource capacity to register")
 		share    = flag.String("share", "", "comma-separated agreements principal:fraction (e.g. 0:0.3,2:0.1)")
 		alloc    = flag.Float64("alloc", 0, "one-shot allocation request, then exit")
+		hold     = flag.Duration("hold", 0, "hold the -alloc lease this long (renewing as needed) before releasing")
 		report   = flag.Duration("report", 0, "if set, keep reporting availability at this interval")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
+		retries  = flag.Int("retries", 3, "reconnect rounds per failed operation")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "initial reconnect backoff (doubles, jittered)")
 	)
 	flag.Parse()
 
-	lrm, err := grm.Dial(*addr, *name, *capacity)
+	cfg := grm.DefaultDialConfig()
+	cfg.Timeout = *timeout
+	cfg.RetryMax = *retries
+	cfg.Backoff = *backoff
+
+	lrm, err := grm.DialWithConfig(*addr, *name, *capacity, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrmd: %v\n", err)
 		os.Exit(1)
@@ -63,7 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lrmd: allocate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("allocated %g (theta %.4g):\n", *alloc, reply.Theta)
+		fmt.Printf("allocated %g (theta %.4g, lease %d, ttl %v):\n", *alloc, reply.Theta, reply.Lease, reply.TTL)
 		names, err := lrm.Peers()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lrmd: peers: %v\n", err)
@@ -74,6 +89,9 @@ func main() {
 				fmt.Printf("  %g from %s (principal %d)\n", take, names[i], i)
 			}
 		}
+		if *hold > 0 {
+			holdLease(lrm, reply, *hold)
+		}
 		return
 	}
 
@@ -81,11 +99,44 @@ func main() {
 		for {
 			time.Sleep(*report)
 			if err := lrm.Report(*capacity); err != nil {
-				fmt.Fprintf(os.Stderr, "lrmd: report: %v\n", err)
-				os.Exit(1)
+				// The client already burned its reconnect budget; log and
+				// keep trying — the GRM may come back.
+				fmt.Fprintf(os.Stderr, "lrmd: report: %v (will retry)\n", err)
 			}
 		}
 	}
+}
+
+// holdLease keeps the lease alive for the hold duration — renewing at
+// half-TTL cadence when the GRM expires leases — then releases it.
+func holdLease(lrm *grm.LRM, reply *grm.AllocReply, hold time.Duration) {
+	deadline := time.Now().Add(hold)
+	interval := hold
+	if reply.TTL > 0 && reply.TTL/2 < interval {
+		interval = reply.TTL / 2
+	}
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if remaining < interval {
+			time.Sleep(remaining)
+			break
+		}
+		time.Sleep(interval)
+		if reply.TTL > 0 {
+			if _, err := lrm.Renew(reply.Lease); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmd: renew: %v\n", err)
+				return
+			}
+		}
+	}
+	if err := lrm.Release(reply.Lease); err != nil {
+		fmt.Fprintf(os.Stderr, "lrmd: release: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("released lease %d after %v\n", reply.Lease, hold)
 }
 
 func parseShare(s string) (int, float64, error) {

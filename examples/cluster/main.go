@@ -68,6 +68,16 @@ func main() {
 	fmt.Printf("east-node0 allocates 100 (only 10 local): takes %v — the rest came through the federation\n",
 		round(reply.Takes))
 
+	// Releasing the lease repays the borrow at the parent: the sibling
+	// cluster's capacity comes back.
+	before, _, err := east.Parent().Capacities()
+	check(err)
+	check(eastNode.Release(reply.Lease))
+	after, _, err := east.Parent().Capacities()
+	check(err)
+	fmt.Printf("east-node0 releases its lease: parent availability %v -> %v (borrow repaid)\n",
+		round(before), round(after))
+
 	// Beyond the inter-cluster agreement, the federation refuses.
 	check(eastNode.Report(10))
 	check(east.ReportUpstream())

@@ -2,63 +2,166 @@ package grm
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
+
+// DialConfig controls the LRM's failure behavior: per-operation I/O
+// deadlines and the reconnect policy applied when the GRM connection dies
+// mid-session.
+type DialConfig struct {
+	// Timeout bounds each request/response exchange (and the dial
+	// itself). 0 disables deadlines.
+	Timeout time.Duration
+	// RetryMax is how many reconnect-and-retry rounds a failed operation
+	// attempts before giving up. 0 fails on the first transport error.
+	RetryMax int
+	// Backoff is the initial delay before a reconnect attempt; it doubles
+	// per attempt (with jitter) up to MaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Dialer overrides how the TCP connection is made — the hook used by
+	// fault-injection tests (see internal/grm/faultnet). nil uses
+	// net.DialTimeout.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// DefaultDialConfig is the policy Dial uses: 10s operation deadlines and
+// up to 3 reconnect rounds starting at 50ms backoff.
+func DefaultDialConfig() DialConfig {
+	return DialConfig{
+		Timeout:    10 * time.Second,
+		RetryMax:   3,
+		Backoff:    50 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+	}
+}
 
 // LRM is a Local Resource Manager: the client side of the GRM protocol.
 // It registers a principal, reports availability, manages agreements and
 // requests allocations. An LRM is safe for concurrent use; requests on
 // one connection are serialized.
+//
+// When the connection to the GRM dies, the next operation transparently
+// reconnects under DialConfig's policy: it re-registers under the same
+// principal name (the GRM rebinds names to their principal) and replays
+// the last availability report before retrying the operation. Operations
+// are therefore at-least-once: a reply lost in transit may be re-executed.
 type LRM struct {
-	mu        sync.Mutex
-	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
-	principal int
-	name      string
+	cfg      DialConfig
+	addr     string
+	name     string
+	capacity float64
+
+	mu         sync.Mutex
+	conn       net.Conn
+	enc        *gob.Encoder
+	dec        *gob.Decoder
+	principal  int
+	closed     bool
+	hasReport  bool
+	lastReport float64
 }
 
 // Dial connects to a GRM and registers a principal with the given starting
-// capacity.
+// capacity, using DefaultDialConfig.
 func Dial(addr, name string, capacity float64) (*LRM, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("grm: dial %s: %w", addr, err)
+	return DialWithConfig(addr, name, capacity, DefaultDialConfig())
+}
+
+// DialWithConfig is Dial with an explicit failure policy.
+func DialWithConfig(addr, name string, capacity float64, cfg DialConfig) (*LRM, error) {
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string) (net.Conn, error) {
+			if cfg.Timeout > 0 {
+				return net.DialTimeout("tcp", addr, cfg.Timeout)
+			}
+			return net.Dial("tcp", addr)
+		}
 	}
-	l := &LRM{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-		name: name,
-	}
-	resp, err := l.roundTrip(&Request{Register: &RegisterRequest{Name: name, Capacity: capacity}})
-	if err != nil {
-		conn.Close()
+	l := &LRM{cfg: cfg, addr: addr, name: name, capacity: capacity}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.connectLocked(); err != nil {
 		return nil, err
 	}
-	if resp.Register == nil {
-		conn.Close()
-		return nil, fmt.Errorf("grm: register: malformed reply")
-	}
-	l.principal = resp.Register.Principal
 	return l, nil
 }
 
-// Close tears down the connection.
-func (l *LRM) Close() error { return l.conn.Close() }
+// Close tears down the connection; subsequent operations fail without
+// reconnecting.
+func (l *LRM) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.conn == nil {
+		return nil
+	}
+	err := l.conn.Close()
+	l.conn = nil
+	return err
+}
 
 // Principal returns the principal id assigned at registration.
-func (l *LRM) Principal() int { return l.principal }
+func (l *LRM) Principal() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.principal
+}
 
 // Name returns the name used at registration.
 func (l *LRM) Name() string { return l.name }
 
-// roundTrip performs one request/response exchange.
-func (l *LRM) roundTrip(req *Request) (*Response, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// connectLocked dials the GRM, registers under the LRM's name (rebinding
+// to the existing principal on a reconnect), and replays the last
+// availability report so the GRM's view survives the outage. Callers hold
+// l.mu.
+func (l *LRM) connectLocked() error {
+	conn, err := l.cfg.Dialer(l.addr)
+	if err != nil {
+		return fmt.Errorf("grm: dial %s: %w", l.addr, err)
+	}
+	l.conn = conn
+	l.enc = gob.NewEncoder(conn)
+	l.dec = gob.NewDecoder(conn)
+	resp, err := l.exchangeLocked(&Request{Register: &RegisterRequest{Name: l.name, Capacity: l.capacity}})
+	if err != nil {
+		l.dropLocked()
+		return err
+	}
+	if resp.Err != "" {
+		l.dropLocked()
+		return errors.New(resp.Err)
+	}
+	if resp.Register == nil {
+		l.dropLocked()
+		return fmt.Errorf("grm: register: malformed reply")
+	}
+	l.principal = resp.Register.Principal
+	if l.hasReport {
+		resp, err := l.exchangeLocked(&Request{Report: &ReportRequest{Principal: l.principal, Available: l.lastReport}})
+		if err != nil {
+			l.dropLocked()
+			return err
+		}
+		if resp.Err != "" {
+			l.dropLocked()
+			return errors.New(resp.Err)
+		}
+	}
+	return nil
+}
+
+// exchangeLocked performs one request/response exchange on the live
+// connection under the configured deadline. Callers hold l.mu.
+func (l *LRM) exchangeLocked(req *Request) (*Response, error) {
+	if l.cfg.Timeout > 0 {
+		l.conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
+	}
 	if err := l.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("grm: send: %w", err)
 	}
@@ -66,23 +169,109 @@ func (l *LRM) roundTrip(req *Request) (*Response, error) {
 	if err := l.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("grm: receive: %w", err)
 	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("%s", resp.Err)
+	if l.cfg.Timeout > 0 {
+		l.conn.SetDeadline(time.Time{})
 	}
 	return &resp, nil
 }
 
-// Report updates the GRM's view of this principal's free capacity.
+// dropLocked discards a dead connection so the next operation redials.
+func (l *LRM) dropLocked() {
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.conn, l.enc, l.dec = nil, nil, nil
+}
+
+// backoff returns the jittered exponential delay before reconnect round
+// `attempt` (1-based): Backoff·2^(attempt−1) capped at MaxBackoff, then
+// uniformly drawn from [d/2, d) so stampeding LRMs desynchronize.
+func (l *LRM) backoff(attempt int) time.Duration {
+	d := l.cfg.Backoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if l.cfg.MaxBackoff > 0 && d >= l.cfg.MaxBackoff {
+			d = l.cfg.MaxBackoff
+			break
+		}
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// roundTrip performs one request/response exchange, reconnecting and
+// retrying on transport errors up to RetryMax times. Application-level
+// errors (Response.Err) are returned immediately and never retried.
+func (l *LRM) roundTrip(req *Request) (*Response, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if l.closed {
+			return nil, fmt.Errorf("grm: %w", net.ErrClosed)
+		}
+		if l.conn == nil {
+			if attempt > 0 {
+				time.Sleep(l.backoff(attempt))
+			}
+			if err := l.connectLocked(); err != nil {
+				lastErr = err
+				if attempt >= l.cfg.RetryMax {
+					return nil, fmt.Errorf("grm: gave up after %d attempts: %w", attempt+1, lastErr)
+				}
+				continue
+			}
+		}
+		resp, err := l.exchangeLocked(req)
+		if err != nil {
+			l.dropLocked()
+			lastErr = err
+			if attempt >= l.cfg.RetryMax {
+				return nil, lastErr
+			}
+			continue
+		}
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		if req.Report != nil {
+			l.hasReport, l.lastReport = true, req.Report.Available
+		}
+		return resp, nil
+	}
+}
+
+// Report updates the GRM's view of this principal's free capacity. The
+// value is remembered and replayed after a reconnect.
 func (l *LRM) Report(available float64) error {
-	_, err := l.roundTrip(&Request{Report: &ReportRequest{Principal: l.principal, Available: available}})
+	_, err := l.roundTrip(&Request{Report: &ReportRequest{Principal: l.Principal(), Available: available}})
 	return err
+}
+
+// Ping probes the GRM for liveness over the LRM's connection (and, like
+// any operation, reconnects if the connection died).
+func (l *LRM) Ping() error {
+	resp, err := l.roundTrip(&Request{Ping: &PingRequest{}})
+	if err != nil {
+		return err
+	}
+	if resp.Ping == nil {
+		return fmt.Errorf("grm: ping: malformed reply")
+	}
+	return nil
 }
 
 // ShareRelative creates a relative sharing agreement: this principal
 // shares `fraction` of its fluctuating capacity with principal `to`. The
 // returned ticket token can revoke the agreement.
 func (l *LRM) ShareRelative(to int, fraction float64) (int, error) {
-	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.principal, To: to, Fraction: fraction}})
+	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.Principal(), To: to, Fraction: fraction}})
 	if err != nil {
 		return 0, err
 	}
@@ -94,7 +283,7 @@ func (l *LRM) ShareRelative(to int, fraction float64) (int, error) {
 
 // ShareAbsolute creates an absolute agreement of a fixed quantity.
 func (l *LRM) ShareAbsolute(to int, quantity float64) (int, error) {
-	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.principal, To: to, Quantity: quantity}})
+	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.Principal(), To: to, Quantity: quantity}})
 	if err != nil {
 		return 0, err
 	}
@@ -111,9 +300,10 @@ func (l *LRM) Revoke(ticket int) error {
 }
 
 // Allocate asks the GRM for `amount` units under the agreements. The
-// reply says how much to take from each principal.
+// reply says how much to take from each principal and carries the lease
+// token (renew it with Renew when the reply's TTL is non-zero).
 func (l *LRM) Allocate(amount float64) (*AllocReply, error) {
-	resp, err := l.roundTrip(&Request{Alloc: &AllocRequest{Principal: l.principal, Amount: amount}})
+	resp, err := l.roundTrip(&Request{Alloc: &AllocRequest{Principal: l.Principal(), Amount: amount}})
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +318,19 @@ func (l *LRM) Allocate(amount float64) (*AllocReply, error) {
 func (l *LRM) Release(lease int) error {
 	_, err := l.roundTrip(&Request{Release: &ReleaseRequest{Lease: lease}})
 	return err
+}
+
+// Renew extends a lease's TTL and returns the renewed time to live (zero
+// when the GRM does not expire leases).
+func (l *LRM) Renew(lease int) (time.Duration, error) {
+	resp, err := l.roundTrip(&Request{Renew: &RenewRequest{Lease: lease}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Renew == nil {
+		return 0, fmt.Errorf("grm: renew: malformed reply")
+	}
+	return resp.Renew.TTL, nil
 }
 
 // Capacities returns the GRM's availability view and every principal's

@@ -1,0 +1,191 @@
+// Package faultnet wraps net.Conn with runtime-controllable fault
+// injection — added latency, silently dropped traffic, and abrupt
+// mid-message resets — so the GRM/LRM protocol's failure handling
+// (deadlines, reconnect, lease repayment) can be exercised in ordinary
+// `go test` runs without real network chaos.
+//
+// Faults are shared state: a single *Faults value may govern many
+// connections (e.g. every connection a reconnecting client dials), and
+// every knob can be flipped while connections are live. The zero Faults
+// injects nothing, so a wrapped connection behaves exactly like the
+// original until a test turns a fault on.
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults is the mutable fault configuration shared by wrapped
+// connections. All methods are safe for concurrent use.
+type Faults struct {
+	mu           sync.Mutex
+	readLatency  time.Duration
+	writeLatency time.Duration
+	dropReads    bool
+	dropWrites   bool
+	resetAfter   int // bytes of writes until a forced reset; -1 = off
+	written      int
+}
+
+// NewFaults returns a fault configuration with everything off.
+func NewFaults() *Faults { return &Faults{resetAfter: -1} }
+
+// SetLatency injects a fixed delay before every read and write completes,
+// on top of real network time. Injected latency does not bypass
+// deadlines: a read that sleeps past the connection's read deadline still
+// returns a timeout error.
+func (f *Faults) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readLatency, f.writeLatency = d, d
+}
+
+// SetDropWrites makes writes vanish: they report success but deliver
+// nothing, so the peer never answers — the way to make a request hang
+// until the caller's deadline fires.
+func (f *Faults) SetDropWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropWrites = on
+}
+
+// SetDropReads makes inbound data vanish in transit: reads consume and
+// discard everything the peer sends, blocking until the connection's read
+// deadline fires or the peer closes — never delivering a byte.
+func (f *Faults) SetDropReads(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropReads = on
+}
+
+// ResetAfterBytes arms a mid-message reset: once n more bytes have been
+// written through any connection sharing this Faults, the connection is
+// closed abruptly and the write returns an error — simulating a peer
+// dying with a half-sent message on the wire. n <= 0 disarms.
+func (f *Faults) ResetAfterBytes(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.resetAfter = -1
+		return
+	}
+	f.resetAfter = n
+	f.written = 0
+}
+
+// Conn wraps a net.Conn, applying the faults configured on its Faults.
+type Conn struct {
+	net.Conn
+	f *Faults
+}
+
+// Wrap applies f to c. A nil f allocates a fresh (all-off) Faults.
+func Wrap(c net.Conn, f *Faults) *Conn {
+	if f == nil {
+		f = NewFaults()
+	}
+	return &Conn{Conn: c, f: f}
+}
+
+// Faults returns the fault configuration governing this connection.
+func (c *Conn) Faults() *Faults { return c.f }
+
+// Kill abruptly closes the underlying connection, as if the transport
+// died; in-flight and future operations fail.
+func (c *Conn) Kill() { c.Conn.Close() }
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.f.mu.Lock()
+	latency, drop := c.f.readLatency, c.f.dropReads
+	c.f.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if drop {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Conn.Read(buf); err != nil {
+				return 0, fmt.Errorf("faultnet: reads dropped: %w", err)
+			}
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.f.mu.Lock()
+	latency, drop := c.f.writeLatency, c.f.dropWrites
+	reset := false
+	if c.f.resetAfter >= 0 {
+		c.f.written += len(p)
+		if c.f.written >= c.f.resetAfter {
+			reset = true
+		}
+	}
+	c.f.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if reset {
+		// Deliver a prefix so the peer sees a truncated message, then die.
+		if n := len(p) / 2; n > 0 {
+			c.Conn.Write(p[:n])
+		}
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: connection reset mid-message: %w", net.ErrClosed)
+	}
+	if drop {
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// given Faults — the server-side counterpart of wrapping a client dial.
+type Listener struct {
+	net.Listener
+	f *Faults
+}
+
+// WrapListener applies f to every connection l accepts.
+func WrapListener(l net.Listener, f *Faults) *Listener {
+	if f == nil {
+		f = NewFaults()
+	}
+	return &Listener{Listener: l, f: f}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, l.f), nil
+}
+
+// Dialer returns a dial function (compatible with grm.DialConfig.Dialer)
+// whose connections all share f. Each successfully dialed connection is
+// also delivered on conns (if non-nil, buffered by the caller) so tests
+// can kill specific connections.
+func Dialer(f *Faults, conns chan<- *Conn) func(addr string) (net.Conn, error) {
+	if f == nil {
+		f = NewFaults()
+	}
+	return func(addr string) (net.Conn, error) {
+		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		c := Wrap(raw, f)
+		if conns != nil {
+			select {
+			case conns <- c:
+			default:
+			}
+		}
+		return c, nil
+	}
+}

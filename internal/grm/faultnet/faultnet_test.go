@@ -1,0 +1,196 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoPair returns a wrapped client connection talking to a one-shot echo
+// server over loopback TCP.
+func echoPair(t *testing.T, f *Faults) *Conn {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(raw, f)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestZeroFaultsPassThrough(t *testing.T) {
+	c := echoPair(t, nil)
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+}
+
+func TestLatencyStillHonorsDeadline(t *testing.T) {
+	f := NewFaults()
+	c := echoPair(t, f)
+	// Prime the echo, then inject latency far beyond the deadline: the
+	// read must come back with a timeout error, not hang.
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetLatency(300 * time.Millisecond)
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 4))
+	if err == nil {
+		t.Fatal("read under injected latency succeeded before deadline")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("read took %v; injected latency must not defeat deadlines", elapsed)
+	}
+}
+
+func TestDropWritesSilently(t *testing.T) {
+	f := NewFaults()
+	c := echoPair(t, f)
+	f.SetDropWrites(true)
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("dropped write should report success, got %v", err)
+	}
+	// Nothing was delivered, so the echo never answers.
+	c.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 4)); err == nil {
+		t.Fatal("read returned data despite dropped write")
+	}
+}
+
+func TestDropReadsBlockUntilDeadline(t *testing.T) {
+	f := NewFaults()
+	c := echoPair(t, f)
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDropReads(true)
+	c.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 4))
+	if err == nil {
+		t.Fatal("dropped read delivered data")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("dropped read did not respect the deadline")
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	f := NewFaults()
+	c := echoPair(t, f)
+	f.ResetAfterBytes(10)
+	if _, err := c.Write([]byte("12345")); err != nil {
+		t.Fatalf("write below threshold: %v", err)
+	}
+	if _, err := c.Write([]byte("678901234567")); err == nil {
+		t.Fatal("write crossing threshold should fail with a reset")
+	}
+	// The connection is dead for good.
+	if _, err := c.Write([]byte("more")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaults()
+	l := WrapListener(inner, f)
+	defer l.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	select {
+	case c := <-done:
+		if _, ok := c.(*Conn); !ok {
+			t.Fatalf("accepted connection is %T, want *faultnet.Conn", c)
+		}
+		c.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+}
+
+func TestDialerSharesFaultsAndReportsConns(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	f := NewFaults()
+	conns := make(chan *Conn, 4)
+	dial := Dialer(f, conns)
+	c, err := dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	select {
+	case got := <-conns:
+		if got.Faults() != f {
+			t.Fatal("dialed connection does not share the Faults")
+		}
+	default:
+		t.Fatal("dialer did not deliver the connection")
+	}
+}

@@ -16,22 +16,33 @@ type parentLink struct {
 // capacity. Call after local LRMs have registered; ReportUpstream keeps
 // the parent's view fresh.
 func (s *Server) AttachParent(addr, name string) error {
+	return s.AttachParentConfig(addr, name, DefaultDialConfig())
+}
+
+// AttachParentConfig is AttachParent with explicit dial/retry behavior for
+// the parent connection. A reservation is held across the dial so that
+// concurrent attach attempts cannot each register at the parent and leak
+// the loser's connection: exactly one caller dials, the rest fail fast.
+func (s *Server) AttachParentConfig(addr, name string, cfg DialConfig) error {
 	s.mu.Lock()
+	if s.parent != nil || s.attaching {
+		s.mu.Unlock()
+		return fmt.Errorf("grm: parent already attached")
+	}
+	s.attaching = true
 	var total float64
 	for _, a := range s.avail {
 		total += a
 	}
-	if s.parent != nil {
-		s.mu.Unlock()
-		return fmt.Errorf("grm: parent already attached")
-	}
 	s.mu.Unlock()
 
-	lrm, err := Dial(addr, name, total)
+	lrm, err := DialWithConfig(addr, name, total, cfg)
+	s.mu.Lock()
+	s.attaching = false
 	if err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("grm: attach parent: %w", err)
 	}
-	s.mu.Lock()
 	s.parent = &parentLink{lrm: lrm}
 	s.mu.Unlock()
 	return nil
@@ -65,7 +76,10 @@ func (s *Server) ReportUpstream() error {
 	return p.lrm.Report(total)
 }
 
-// DetachParent closes the parent connection.
+// DetachParent closes the parent connection. Leases that borrowed through
+// the link keep a reference to it, so repayment on a later Release still
+// reaches the (now re-dialed, if the link's LRM reconnects) parent; a
+// repayment after Close simply fails and is logged.
 func (s *Server) DetachParent() error {
 	s.mu.Lock()
 	p := s.parent
@@ -77,21 +91,34 @@ func (s *Server) DetachParent() error {
 	return p.lrm.Close()
 }
 
-// borrow asks the parent for `amount` units from the federation. It is
-// called with s.mu held by the allocation path; the parent round trip is
-// performed on the parent's own connection, so no lock ordering issue
-// arises (the parent GRM never calls back into this server).
-func (p *parentLink) borrow(amount float64) (float64, error) {
+// borrow asks the parent for `amount` units from the federation and
+// returns the granted amount together with the parent's lease token. The
+// token MUST eventually be repaid via repay — on child Release, on lease
+// expiry, or immediately when the retried local plan fails — otherwise
+// sibling-cluster capacity leaks at the parent. It is called with s.mu
+// released by the allocation path; the parent round trip runs on the
+// parent's own connection, so no lock ordering issue arises (the parent
+// GRM never calls back into this server).
+func (p *parentLink) borrow(amount float64) (float64, int, error) {
 	if amount <= 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	reply, err := p.lrm.Allocate(amount)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var got float64
 	for _, take := range reply.Takes {
 		got += take
 	}
-	return got, nil
+	return got, reply.Lease, nil
+}
+
+// repay returns a borrow's lease to the parent, restoring sibling-cluster
+// availability. A token of 0 (nothing borrowed) is a no-op.
+func (p *parentLink) repay(token int) error {
+	if token == 0 {
+		return nil
+	}
+	return p.lrm.Release(token)
 }

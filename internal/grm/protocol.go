@@ -20,6 +20,7 @@ package grm
 import (
 	"encoding/gob"
 	"fmt"
+	"time"
 )
 
 // Request is the envelope an LRM sends to the GRM; exactly one field is
@@ -31,8 +32,10 @@ type Request struct {
 	Revoke   *RevokeRequest
 	Alloc    *AllocRequest
 	Release  *ReleaseRequest
+	Renew    *RenewRequest
 	Caps     *CapsRequest
 	Peers    *PeersRequest
+	Ping     *PingRequest
 }
 
 // Response is the GRM's reply; Err is empty on success and exactly one
@@ -45,8 +48,10 @@ type Response struct {
 	Revoke   *ReportReply // revoke has no payload beyond acknowledgement
 	Alloc    *AllocReply
 	Release  *ReportReply // acknowledgement only
+	Renew    *RenewReply
 	Caps     *CapsReply
 	Peers    *PeersReply
+	Ping     *PingReply
 }
 
 // RegisterRequest announces an LRM and its resource capacity to the GRM.
@@ -99,17 +104,38 @@ type AllocRequest struct {
 // AllocReply carries the GRM's allocation decision: how much to take from
 // each principal (indexed by principal id), the realized perturbation
 // metric θ, and a lease token to pass to Release when the resources are
-// done.
+// done. TTL, when non-zero, is the lease's time to live: the GRM reclaims
+// the resources after TTL unless the holder calls Renew or Release first.
 type AllocReply struct {
 	Takes []float64
 	Theta float64
 	Lease int
+	TTL   time.Duration
 }
 
 // ReleaseRequest returns a finished allocation's resources to the pool.
 type ReleaseRequest struct {
 	Lease int
 }
+
+// RenewRequest extends a live lease's TTL by the server's lease TTL. A
+// no-op acknowledgement when the server has no lease expiry configured.
+type RenewRequest struct {
+	Lease int
+}
+
+// RenewReply reports the renewed lease's remaining time to live (zero when
+// leases do not expire).
+type RenewReply struct {
+	TTL time.Duration
+}
+
+// PingRequest is a liveness probe; it touches no state and may be used by
+// clients to test a connection or measure round-trip time.
+type PingRequest struct{}
+
+// PingReply acknowledges a ping.
+type PingReply struct{}
 
 // CapsRequest asks for every principal's capacity C_i (own plus
 // transitively available resources) under the current availability.

@@ -1,0 +1,532 @@
+package grm
+
+import (
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grm/faultnet"
+)
+
+// startServerWith launches a GRM after applying setup (lease TTLs,
+// timeouts, ...) to the not-yet-serving server.
+func startServerWith(t *testing.T, cfg core.Config, setup func(*Server)) (*Server, string) {
+	t.Helper()
+	s := NewServer(cfg, nil)
+	if setup != nil {
+		setup(s)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, l.Addr().String()
+}
+
+func TestCloseTwice(t *testing.T) {
+	s, _ := startServer(t, core.Config{})
+	err1 := s.Close()
+	err2 := s.Close() // must not panic on the closed channel
+	if err1 != err2 {
+		t.Errorf("repeated Close returned a different error: %v vs %v", err1, err2)
+	}
+}
+
+func TestConcurrentClose(t *testing.T) {
+	s, _ := startServer(t, core.Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseSeversLiveConnections(t *testing.T) {
+	s, addr := startServer(t, core.Config{})
+	l, err := Dial(addr, "lingering", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// The LRM sits idle on an open connection; Close must not wait for it
+	// to hang up voluntarily.
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hangs while an idle LRM connection is open")
+	}
+}
+
+func TestConcurrentAttachParent(t *testing.T) {
+	_, parentAddr := startServer(t, core.Config{})
+	child, _ := startServer(t, core.Config{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = child.AttachParent(parentAddr, "cluster")
+		}(i)
+	}
+	wg.Wait()
+	var ok int
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("%d AttachParent calls succeeded, want exactly 1", ok)
+	}
+	// The losers must not have leaked registrations at the parent.
+	names, err := child.Parent().Peers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Errorf("parent sees %d principals (%v), want 1 — losers leaked connections", len(names), names)
+	}
+	child.DetachParent()
+}
+
+func TestClientTimeoutOnInjectedLatency(t *testing.T) {
+	_, addr := startServer(t, core.Config{})
+	faults := faultnet.NewFaults()
+	cfg := DialConfig{
+		Timeout:  100 * time.Millisecond,
+		RetryMax: 0,
+		Dialer:   faultnet.Dialer(faults, nil),
+	}
+	l, err := DialWithConfig(addr, "slow", 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Latency far beyond the deadline: the operation must surface a
+	// timeout error in bounded time, not hang.
+	faults.SetLatency(500 * time.Millisecond)
+	start := time.Now()
+	err = l.Ping()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("operation under injected latency succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("operation took %v; deadline did not bound it", elapsed)
+	}
+}
+
+func TestClientTimeoutOnDroppedWrites(t *testing.T) {
+	_, addr := startServer(t, core.Config{})
+	faults := faultnet.NewFaults()
+	cfg := DialConfig{
+		Timeout:  100 * time.Millisecond,
+		RetryMax: 0,
+		Dialer:   faultnet.Dialer(faults, nil),
+	}
+	l, err := DialWithConfig(addr, "muted", 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	faults.SetDropWrites(true)
+	start := time.Now()
+	if err := l.Report(5); err == nil {
+		t.Fatal("report with dropped writes succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("report took %v; read deadline did not fire", elapsed)
+	}
+}
+
+func TestReconnectReRegistersAndReplaysReport(t *testing.T) {
+	srv, addr := startServer(t, core.Config{})
+	faults := faultnet.NewFaults()
+	conns := make(chan *faultnet.Conn, 8)
+	cfg := DialConfig{
+		Timeout:  2 * time.Second,
+		RetryMax: 3,
+		Backoff:  5 * time.Millisecond,
+		Dialer:   faultnet.Dialer(faults, conns),
+	}
+	l, err := DialWithConfig(addr, "phoenix", 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first := <-conns
+	principal := l.Principal()
+
+	if err := l.Report(33); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport out from under the client.
+	first.Kill()
+
+	// The next operation reconnects, re-registers under the same name,
+	// and replays the 33-unit report before executing.
+	if err := l.Ping(); err != nil {
+		t.Fatalf("ping after killed connection: %v", err)
+	}
+	if got := l.Principal(); got != principal {
+		t.Errorf("reconnect changed principal: %d -> %d", principal, got)
+	}
+	select {
+	case <-conns: // the reconnect's fresh connection
+	default:
+		t.Error("no second connection was dialed")
+	}
+	st, err := srv.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Principals) != 1 {
+		t.Fatalf("server sees %d principals after reconnect, want 1", len(st.Principals))
+	}
+	if st.Principals[principal].Available != 33 {
+		t.Errorf("availability after reconnect = %g, want the replayed 33", st.Principals[principal].Available)
+	}
+}
+
+func TestReconnectGivesUpAfterRetryMax(t *testing.T) {
+	s, addr := startServer(t, core.Config{})
+	l, err := DialWithConfig(addr, "orphan", 10, DialConfig{
+		Timeout:  200 * time.Millisecond,
+		RetryMax: 2,
+		Backoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Take the whole server down; every reconnect attempt must fail and
+	// the operation must give up in bounded time.
+	s.Close()
+	start := time.Now()
+	if err := l.Ping(); err == nil {
+		t.Fatal("ping against a dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("gave up after %v; retry budget did not bound the failure", elapsed)
+	}
+}
+
+func TestOperationsAfterCloseFail(t *testing.T) {
+	_, addr := startServer(t, core.Config{})
+	l, err := Dial(addr, "done", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Ping(); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("ping after Close = %v, want net.ErrClosed (no reconnect)", err)
+	}
+}
+
+func TestLeaseTTLReaperReturnsTakes(t *testing.T) {
+	srv, addr := startServerWith(t, core.Config{}, func(s *Server) {
+		s.SetLeaseTTL(60 * time.Millisecond)
+	})
+	a, err := Dial(addr, "A", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	reply, err := a.Allocate(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TTL != 60*time.Millisecond {
+		t.Errorf("lease TTL in reply = %v, want 60ms", reply.TTL)
+	}
+	avail, _, err := a.Capacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail[a.Principal()] != 60 {
+		t.Fatalf("availability during lease = %g, want 60", avail[a.Principal()])
+	}
+
+	// Never released: the reaper must reclaim it.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := srv.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Leases == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease was never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	avail, _, err = a.Capacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail[a.Principal()] != 100 {
+		t.Errorf("availability after expiry = %g, want 100", avail[a.Principal()])
+	}
+	if err := a.Release(reply.Lease); err == nil {
+		t.Error("releasing an expired lease succeeded")
+	}
+}
+
+func TestLeaseRenewKeepsLeaseAlive(t *testing.T) {
+	srv, addr := startServerWith(t, core.Config{}, func(s *Server) {
+		s.SetLeaseTTL(150 * time.Millisecond)
+	})
+	a, err := Dial(addr, "A", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	reply, err := a.Allocate(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renew well past the original TTL: the lease must survive.
+	for i := 0; i < 8; i++ {
+		time.Sleep(50 * time.Millisecond)
+		ttl, err := a.Renew(reply.Lease)
+		if err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		if ttl != 150*time.Millisecond {
+			t.Fatalf("renew TTL = %v, want 150ms", ttl)
+		}
+	}
+	st, err := srv.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leases != 1 {
+		t.Fatalf("lease count after renewals = %d, want 1", st.Leases)
+	}
+	// Stop renewing: the reaper takes it.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := srv.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Leases == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease survived after renewals stopped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := a.Renew(999); err == nil {
+		t.Error("renewing an unknown lease succeeded")
+	}
+}
+
+// availVector snapshots a server's availability per principal.
+func availVector(t *testing.T, s *Server) []float64 {
+	t.Helper()
+	st, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(st.Principals))
+	for i, p := range st.Principals {
+		out[i] = p.Available
+	}
+	return out
+}
+
+func sameVector(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFederationRepaysBorrowOnRelease(t *testing.T) {
+	parentSrv, parentAddr := startServer(t, core.Config{})
+	child1, child1Addr := startServer(t, core.Config{})
+	child2, child2Addr := startServer(t, core.Config{})
+
+	poor, err := Dial(child1Addr, "poor", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer poor.Close()
+	rich, err := Dial(child2Addr, "rich", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rich.Close()
+
+	if err := child1.AttachParent(parentAddr, "cluster1"); err != nil {
+		t.Fatal(err)
+	}
+	defer child1.DetachParent()
+	if err := child2.AttachParent(parentAddr, "cluster2"); err != nil {
+		t.Fatal(err)
+	}
+	defer child2.DetachParent()
+	if _, err := child2.Parent().ShareRelative(child1.Parent().Principal(), 0.6); err != nil {
+		t.Fatal(err)
+	}
+
+	before := availVector(t, parentSrv)
+
+	// 5 local + 95 borrowed through the federation.
+	reply, err := poor.Allocate(100)
+	if err != nil {
+		t.Fatalf("federated allocation: %v", err)
+	}
+	during := availVector(t, parentSrv)
+	if sameVector(before, during) {
+		t.Fatal("parent availability unchanged during borrow; federation path not exercised")
+	}
+
+	// Releasing the child lease must repay the parent in the same call.
+	if err := poor.Release(reply.Lease); err != nil {
+		t.Fatal(err)
+	}
+	after := availVector(t, parentSrv)
+	if !sameVector(before, after) {
+		t.Errorf("parent availability after child release = %v, want pre-borrow %v", after, before)
+	}
+}
+
+func TestFederationRepaysBorrowOnFailedRetry(t *testing.T) {
+	parentSrv, parentAddr := startServer(t, core.Config{})
+	child1, child1Addr := startServer(t, core.Config{})
+	child2, child2Addr := startServer(t, core.Config{})
+
+	poor, err := Dial(child1Addr, "poor", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer poor.Close()
+	// A second local client used to sabotage poor's availability while
+	// the borrow is in flight.
+	sab, err := Dial(child1Addr, "sab", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sab.Close()
+	rich, err := Dial(child2Addr, "rich", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rich.Close()
+
+	// Slow the child1->parent link so the borrow round trip leaves a wide
+	// window in which child1's local state can change under it.
+	linkFaults := faultnet.NewFaults()
+	linkCfg := DefaultDialConfig()
+	linkCfg.Dialer = faultnet.Dialer(linkFaults, nil)
+	if err := child1.AttachParentConfig(parentAddr, "cluster1", linkCfg); err != nil {
+		t.Fatal(err)
+	}
+	defer child1.DetachParent()
+	if err := child2.AttachParent(parentAddr, "cluster2"); err != nil {
+		t.Fatal(err)
+	}
+	defer child2.DetachParent()
+	if _, err := child2.Parent().ShareRelative(child1.Parent().Principal(), 0.6); err != nil {
+		t.Fatal(err)
+	}
+
+	before := availVector(t, parentSrv)
+	poorPrincipal := poor.Principal()
+	linkFaults.SetLatency(300 * time.Millisecond)
+
+	allocErr := make(chan error, 1)
+	go func() {
+		_, err := poor.Allocate(100)
+		allocErr <- err
+	}()
+	// While the borrow is on the slow wire, zero out poor's availability:
+	// the retried plan then still fails and the borrow must be repaid.
+	time.Sleep(150 * time.Millisecond)
+	if _, err := sab.roundTrip(&Request{Report: &ReportRequest{Principal: poorPrincipal, Available: 0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-allocErr:
+		if err == nil {
+			t.Fatal("allocation succeeded despite sabotaged local capacity")
+		}
+		// The borrow must have been granted (a parent refusal means the
+		// window was missed and the repay path was never exercised).
+		if strings.Contains(err.Error(), "parent refused") {
+			t.Fatalf("borrow was refused, repay path not exercised: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("allocation never returned")
+	}
+	// The repayment happens before alloc returns its error.
+	after := availVector(t, parentSrv)
+	if !sameVector(before, after) {
+		t.Errorf("parent availability after failed retry = %v, want pre-borrow %v (borrow leaked)", after, before)
+	}
+}
+
+func TestServerIdleTimeoutDisconnectsQuietClients(t *testing.T) {
+	_, addr := startServerWith(t, core.Config{}, func(s *Server) {
+		s.SetTimeouts(80*time.Millisecond, time.Second)
+	})
+	// RetryMax 0: the client must observe the disconnect rather than
+	// silently reconnect.
+	l, err := DialWithConfig(addr, "sleepy", 10, DialConfig{Timeout: time.Second, RetryMax: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	time.Sleep(300 * time.Millisecond)
+	if err := l.Ping(); err == nil {
+		t.Error("server kept an idle connection past the idle timeout")
+	}
+	// With retries enabled the same situation self-heals.
+	h, err := DialWithConfig(addr, "healer", 10, DialConfig{
+		Timeout: time.Second, RetryMax: 3, Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	time.Sleep(300 * time.Millisecond)
+	if err := h.Ping(); err != nil {
+		t.Errorf("ping after idle disconnect with retries: %v", err)
+	}
+}

@@ -8,10 +8,21 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
 )
+
+// lease is one outstanding allocation: the per-principal takes to return
+// on release, an optional expiry, and the parent GRM's lease token when
+// part of the allocation was borrowed through the federation.
+type lease struct {
+	takes       []float64
+	expires     time.Time   // zero when leases do not expire
+	parentLink  *parentLink // federation link the borrow came through; nil when local
+	parentLease int         // parent lease token to repay; 0 when nothing borrowed
+}
 
 // Server is the Global Resource Manager: it stores sharing agreements in a
 // ticket-and-currency system, tracks availability reported by LRMs, and
@@ -28,30 +39,70 @@ type Server struct {
 	names     []string
 	planner   *core.Allocator // rebuilt lazily after structural changes
 	parent    *parentLink
-	leases    map[int][]float64 // lease token -> takes
+	attaching bool // AttachParent reservation held across the parent dial
+	leases    map[int]*lease
 	nextLease int
+	conns     map[net.Conn]struct{} // live LRM connections, closed on Close
 
-	listener net.Listener
-	wg       sync.WaitGroup
-	closed   chan struct{}
-	logger   *log.Logger
+	leaseTTL     time.Duration // 0 = leases never expire
+	reapEvery    time.Duration
+	idleTimeout  time.Duration // max quiet time on an LRM connection; 0 = none
+	writeTimeout time.Duration // per-response write deadline; 0 = none
+
+	listener   net.Listener
+	wg         sync.WaitGroup
+	closed     chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
+	reaperOnce sync.Once
+	logger     *log.Logger
 }
 
 // NewServer creates a GRM whose LP allocator uses the given configuration
 // (transitivity level, approximation, ...). logger may be nil to discard
-// diagnostics.
+// diagnostics. Leases do not expire and connections have no idle limit
+// until SetLeaseTTL / SetTimeouts say otherwise.
 func NewServer(cfg core.Config, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
 	return &Server{
-		cfg:       cfg,
-		sys:       agreement.NewSystem(),
-		closed:    make(chan struct{}),
-		logger:    logger,
-		leases:    map[int][]float64{},
-		nextLease: 1,
+		cfg:          cfg,
+		sys:          agreement.NewSystem(),
+		closed:       make(chan struct{}),
+		logger:       logger,
+		leases:       map[int]*lease{},
+		nextLease:    1,
+		conns:        map[net.Conn]struct{}{},
+		writeTimeout: 30 * time.Second,
 	}
+}
+
+// SetLeaseTTL makes every lease granted from now on expire after ttl
+// unless renewed or released; a background reaper (started by Serve)
+// returns expired takes to the pool and repays any federation borrow.
+// ttl <= 0 disables expiry. Call before Serve.
+func (s *Server) SetLeaseTTL(ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ttl <= 0 {
+		s.leaseTTL, s.reapEvery = 0, 0
+		return
+	}
+	s.leaseTTL = ttl
+	s.reapEvery = ttl / 4
+	if s.reapEvery < time.Millisecond {
+		s.reapEvery = time.Millisecond
+	}
+}
+
+// SetTimeouts configures per-connection deadlines: idle is the maximum
+// quiet time between requests on an LRM connection (0 = unlimited), write
+// the per-response write deadline (0 = none).
+func (s *Server) SetTimeouts(idle, write time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idleTimeout, s.writeTimeout = idle, write
 }
 
 // Serve accepts LRM connections on l until Close is called. It always
@@ -59,7 +110,14 @@ func NewServer(cfg core.Config, logger *log.Logger) *Server {
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
+	ttl := s.leaseTTL
 	s.mu.Unlock()
+	if ttl > 0 {
+		s.reaperOnce.Do(func() {
+			s.wg.Add(1)
+			go s.reaper()
+		})
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -70,10 +128,25 @@ func (s *Server) Serve(l net.Listener) error {
 				return fmt.Errorf("grm: accept: %w", err)
 			}
 		}
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			// Raced with Close after it snapshotted live connections:
+			// drop the straggler rather than leak a handler past Close.
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -97,18 +170,28 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops the accept loop and waits for in-flight connections.
+// Close stops the accept loop, severs live LRM connections, and waits for
+// in-flight handlers and the lease reaper. Safe to call more than once;
+// repeated calls return the first call's error.
 func (s *Server) Close() error {
-	close(s.closed)
-	s.mu.Lock()
-	l := s.listener
-	s.mu.Unlock()
-	var err error
-	if l != nil {
-		err = l.Close()
-	}
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		l := s.listener
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		if l != nil {
+			s.closeErr = l.Close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		s.wg.Wait()
+	})
+	return s.closeErr
 }
 
 // LoadSnapshot replaces the server's agreement system with one restored
@@ -150,6 +233,12 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		s.mu.Lock()
+		idle, write := s.idleTimeout, s.writeTimeout
+		s.mu.Unlock()
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
@@ -158,6 +247,9 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		resp := s.dispatch(&req)
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		}
 		if err := enc.Encode(resp); err != nil {
 			s.logger.Printf("grm: encode to %s: %v", conn.RemoteAddr(), err)
 			return
@@ -165,12 +257,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch serves one request. Allocation manages the lock itself (it may
-// drop it around a parent-GRM round trip); everything else runs under one
-// critical section.
+// dispatch serves one request. Allocation and release manage the lock
+// themselves (they may perform a parent-GRM round trip, which must not be
+// made while holding it); everything else runs under one critical section.
 func (s *Server) dispatch(req *Request) *Response {
 	if req.Alloc != nil {
 		return s.alloc(req.Alloc)
+	}
+	if req.Release != nil {
+		return s.release(req.Release)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,12 +278,14 @@ func (s *Server) dispatch(req *Request) *Response {
 		return s.share(req.Share)
 	case req.Revoke != nil:
 		return s.revoke(req.Revoke)
-	case req.Release != nil:
-		return s.release(req.Release)
+	case req.Renew != nil:
+		return s.renew(req.Renew)
 	case req.Caps != nil:
 		return s.caps()
 	case req.Peers != nil:
 		return &Response{Peers: &PeersReply{Names: append([]string(nil), s.names...)}}
+	case req.Ping != nil:
+		return &Response{Ping: &PingReply{}}
 	default:
 		return errorf("grm: empty request envelope")
 	}
@@ -286,7 +383,10 @@ func (s *Server) revoke(r *RevokeRequest) *Response {
 // and a parent GRM is attached, the lock is RELEASED around the parent's
 // network round trip (holding it would stall every other LRM on a remote
 // call), then the plan is retried against the then-current availability
-// with the borrowed capacity credited to the requester.
+// with the borrowed capacity credited to the requester. The parent's lease
+// token is recorded on the local lease so Release (or the reaper) repays
+// the borrow; if the retried plan fails, the borrow is repaid immediately
+// — a failed allocation must leave the federation's books untouched.
 func (s *Server) alloc(r *AllocRequest) *Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -297,9 +397,26 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 		return errorf("grm: alloc: negative amount %g", r.Amount)
 	}
 	var borrowed float64
+	var parentLease int
+	var borrowedFrom *parentLink
+	// repay undoes a pending federation borrow on a non-commit exit path.
+	// Called with s.mu held; drops it around the parent round trip.
+	repay := func() {
+		if parentLease == 0 {
+			return
+		}
+		link, token := borrowedFrom, parentLease
+		parentLease = 0
+		s.mu.Unlock()
+		if err := link.repay(token); err != nil {
+			s.logger.Printf("grm: alloc: repaying parent lease %d: %v", token, err)
+		}
+		s.mu.Lock()
+	}
 	for attempt := 0; ; attempt++ {
 		planner, err := s.currentPlanner()
 		if err != nil {
+			repay()
 			return errorf("grm: alloc: %v", err)
 		}
 		v := append([]float64(nil), s.avail...)
@@ -310,16 +427,17 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 			deficit := r.Amount - caps[r.Principal]
 			parent := s.parent
 			s.mu.Unlock()
-			got, berr := parent.borrow(deficit)
+			got, token, berr := parent.borrow(deficit)
 			s.mu.Lock()
 			if berr != nil {
 				return errorf("grm: alloc: local capacity %g short of %g and parent refused: %v",
 					caps[r.Principal], r.Amount, berr)
 			}
-			borrowed = got
+			borrowed, parentLease, borrowedFrom = got, token, parent
 			continue
 		}
 		if err != nil {
+			repay()
 			return errorf("grm: alloc: %v", err)
 		}
 		// Commit the GRM's availability view; LRMs overwrite it with
@@ -330,22 +448,58 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 				s.avail[i] = 0
 			}
 		}
-		lease := s.nextLease
+		token := s.nextLease
 		s.nextLease++
-		s.leases[lease] = append([]float64(nil), plan.Take...)
-		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: lease}}
+		le := &lease{
+			takes:       append([]float64(nil), plan.Take...),
+			parentLink:  borrowedFrom,
+			parentLease: parentLease,
+		}
+		if s.leaseTTL > 0 {
+			le.expires = time.Now().Add(s.leaseTTL)
+		}
+		s.leases[token] = le
+		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: token, TTL: s.leaseTTL}}
 	}
 }
 
 // release returns a lease's takes to the availability view, capped by
 // each principal's last reported capacity (fresh reports remain ground
-// truth).
+// truth), and repays the parent GRM when the lease carried a federation
+// borrow. The parent round trip happens outside the lock.
 func (s *Server) release(r *ReleaseRequest) *Response {
-	takes, ok := s.leases[r.Lease]
+	s.mu.Lock()
+	le, ok := s.leases[r.Lease]
 	if !ok {
+		s.mu.Unlock()
 		return errorf("grm: release: unknown lease %d", r.Lease)
 	}
 	delete(s.leases, r.Lease)
+	s.creditLocked(le.takes)
+	s.mu.Unlock()
+	if le.parentLease != 0 && le.parentLink != nil {
+		if err := le.parentLink.repay(le.parentLease); err != nil {
+			s.logger.Printf("grm: release: repaying parent lease %d: %v", le.parentLease, err)
+		}
+	}
+	return &Response{Release: &ReportReply{}}
+}
+
+// renew pushes a live lease's expiry out by the configured TTL.
+func (s *Server) renew(r *RenewRequest) *Response {
+	le, ok := s.leases[r.Lease]
+	if !ok {
+		return errorf("grm: renew: unknown lease %d", r.Lease)
+	}
+	if s.leaseTTL > 0 {
+		le.expires = time.Now().Add(s.leaseTTL)
+	}
+	return &Response{Renew: &RenewReply{TTL: s.leaseTTL}}
+}
+
+// creditLocked returns takes to the availability view, capped by the last
+// reported capacities. Callers hold s.mu.
+func (s *Server) creditLocked(takes []float64) {
 	for i, take := range takes {
 		if i >= len(s.avail) {
 			break
@@ -355,7 +509,49 @@ func (s *Server) release(r *ReleaseRequest) *Response {
 			s.avail[i] = s.reported[i]
 		}
 	}
-	return &Response{Release: &ReportReply{}}
+}
+
+// reaper periodically returns expired leases to the pool (and repays their
+// federation borrows) until the server closes.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	every := s.reapEvery
+	s.mu.Unlock()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case now := <-t.C:
+			s.reapExpired(now)
+		}
+	}
+}
+
+// reapExpired collects every lease past its expiry, credits its takes
+// back, and repays parent leases outside the lock.
+func (s *Server) reapExpired(now time.Time) {
+	s.mu.Lock()
+	var repay []*lease
+	for token, le := range s.leases {
+		if le.expires.IsZero() || now.Before(le.expires) {
+			continue
+		}
+		delete(s.leases, token)
+		s.creditLocked(le.takes)
+		if le.parentLease != 0 && le.parentLink != nil {
+			repay = append(repay, le)
+		}
+		s.logger.Printf("grm: lease %d expired, takes returned to pool", token)
+	}
+	s.mu.Unlock()
+	for _, le := range repay {
+		if err := le.parentLink.repay(le.parentLease); err != nil {
+			s.logger.Printf("grm: reaper: repaying parent lease %d: %v", le.parentLease, err)
+		}
+	}
 }
 
 func (s *Server) caps() *Response {
