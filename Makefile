@@ -1,11 +1,12 @@
-# Build/verify entry points. `make check` is the CI gate: vet plus the
-# full test suite with the race detector (the grm protocol layer's
+# Build/verify entry points. `make check` is the CI gate: vet, the
+# domain-specific sharingvet analyzers, snapshot linting, and the full
+# test suite with the race detector (the grm protocol layer's
 # reconnect/reaper/federation paths are concurrency-heavy and must stay
 # honest under -race).
 
 GO ?= go
 
-.PHONY: build test race check bench clean
+.PHONY: build test race lint check bench fuzz clean
 
 build:
 	$(GO) build ./...
@@ -14,17 +15,30 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the concurrency-critical packages plus a plain run
-# of everything else (LP/sim benches are pure-CPU and slow under -race).
+# of everything else (LP benches are pure-CPU and slow under -race).
 race:
-	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/...
+	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/... ./internal/sim/...
+
+# Static analysis: the sharingvet analyzers (float equality, I/O under
+# locks, missing conn deadlines, unwrapped errors) and the agreement
+# snapshot validator over every checked-in snapshot. Invalid example
+# snapshots live under testdata/invalid/ and are exercised by tests.
+lint:
+	$(GO) run ./cmd/sharingvet ./...
+	$(GO) run ./cmd/agreements lint testdata/*.json
 
 check: build
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/grm/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Short local fuzz pass over the snapshot decoder.
+fuzz:
+	$(GO) test ./internal/agreement/ -fuzz FuzzSnapshotDecode -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

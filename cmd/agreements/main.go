@@ -7,6 +7,11 @@
 //
 //	agreements community.json
 //	agreements -level 1 community.json     # direct agreements only
+//	agreements lint community.json         # static validation only
+//
+// The lint subcommand runs Snapshot.Validate — the same paper-invariant
+// checks a GRM applies before loading a snapshot — and exits non-zero
+// when any error-severity finding is present.
 package main
 
 import (
@@ -20,7 +25,48 @@ import (
 	"repro/internal/core"
 )
 
+// readSnapshotFile opens and parses one snapshot file.
+func readSnapshotFile(path string) (*agreement.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return agreement.ReadSnapshot(f)
+}
+
+// lint statically validates each snapshot and returns the process exit
+// code: 0 when no file has error-severity findings, 1 otherwise.
+func lint(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: agreements lint <snapshot.json>...")
+		return 2
+	}
+	exit := 0
+	for _, path := range paths {
+		snap, err := readSnapshotFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agreements: lint: %v\n", err)
+			exit = 1
+			continue
+		}
+		findings := snap.Validate()
+		for _, f := range findings {
+			fmt.Printf("%s: %s\n", path, f)
+		}
+		if agreement.HasErrors(findings) {
+			exit = 1
+		} else {
+			fmt.Printf("%s: ok (%d warnings)\n", path, len(findings))
+		}
+	}
+	return exit
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(lint(os.Args[2:]))
+	}
 	var (
 		level  = flag.Int("level", 0, "transitivity level (0 = full closure)")
 		approx = flag.Bool("approx", false, "use matrix-power approximation")
@@ -28,15 +74,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: agreements [-level N] <snapshot.json>")
+		fmt.Fprintln(os.Stderr, "       agreements lint <snapshot.json>...")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
-		os.Exit(1)
-	}
-	snap, err := agreement.ReadSnapshot(f)
-	f.Close()
+	snap, err := readSnapshotFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
 		os.Exit(1)
@@ -62,6 +103,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "agreements: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	for _, f := range snap.Validate() {
+		fmt.Printf("lint %s\n", f)
 	}
 
 	types := sys.ResourceTypes()

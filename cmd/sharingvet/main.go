@@ -1,0 +1,139 @@
+// Command sharingvet is the repo's domain-specific lint suite: a
+// multichecker (in the style of golang.org/x/tools/go/analysis, but
+// stdlib-only) enforcing the invariants the paper's enforcement model
+// and the GRM/LRM concurrency layer depend on:
+//
+//	floateq      no ==/!= on floats in the numeric layers (lp,
+//	             transitive, core, agreement); use internal/num
+//	lockedio     no conn I/O, dial, codec call or blocking channel send
+//	             while holding a mutex in internal/grm
+//	netdeadline  every conn read/write in internal/grm is preceded by a
+//	             Set*Deadline on a path from function entry
+//	errwrap      errors crossing internal/* package boundaries wrap
+//	             their cause with %w so errors.Is/As keep working
+//
+// Usage:
+//
+//	sharingvet ./...
+//	sharingvet -list
+//	sharingvet ./internal/grm ./internal/lp
+//
+// Findings are suppressed per line or per function with
+//
+//	//lint:ignore sharingvet/<analyzer> reason
+//
+// Exit status: 0 clean, 1 findings, 2 load/internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/lockedio"
+	"repro/internal/analysis/netdeadline"
+)
+
+// check binds an analyzer to the packages its invariant governs.
+type check struct {
+	analyzer *analysis.Analyzer
+	// scope returns whether the analyzer runs on a package, given its
+	// import path relative to the module root ("internal/lp", ...).
+	scope func(rel string) bool
+	where string // human-readable scope, for -list
+}
+
+func checks() []check {
+	numeric := map[string]bool{
+		"internal/lp": true, "internal/transitive": true,
+		"internal/core": true, "internal/agreement": true,
+	}
+	return []check{
+		{floateq.Analyzer, func(rel string) bool { return numeric[rel] }, "internal/{lp,transitive,core,agreement}"},
+		{lockedio.Analyzer, func(rel string) bool { return rel == "internal/grm" }, "internal/grm"},
+		{netdeadline.Analyzer, func(rel string) bool { return rel == "internal/grm" }, "internal/grm"},
+		{errwrap.Analyzer, func(rel string) bool { return strings.HasPrefix(rel, "internal/") }, "internal/..."},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "print every package as it is analyzed")
+	flag.Parse()
+	if *list {
+		for _, c := range checks() {
+			fmt.Printf("%-12s %s\n             scope: %s\n", c.analyzer.Name, c.analyzer.Doc, c.where)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns, *verbose))
+}
+
+func run(patterns []string, verbose bool) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharingvet:", err)
+		return 2
+	}
+	root, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharingvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.ResolvePatterns(root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharingvet:", err)
+		return 2
+	}
+	loader := analysis.NewLoader()
+	status := 0
+	for _, pk := range pkgs {
+		dir, ip := pk[0], pk[1]
+		rel := strings.TrimPrefix(strings.TrimPrefix(ip, modPath), "/")
+		var active []check
+		for _, c := range checks() {
+			if c.scope(rel) {
+				active = append(active, c)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "sharingvet: %s\n", ip)
+		}
+		p, err := loader.LoadDir(dir, ip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharingvet: %s: %v\n", ip, err)
+			status = 2
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "sharingvet: %s: typecheck: %v\n", ip, terr)
+			status = 2
+		}
+		for _, c := range active {
+			diags, err := analysis.Run(c.analyzer, loader.Fset, p.Files, p.Types, p.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sharingvet: %v\n", err)
+				status = 2
+				continue
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				if status == 0 {
+					status = 1
+				}
+			}
+		}
+	}
+	return status
+}

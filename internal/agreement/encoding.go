@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/num"
 )
 
 // Snapshot is the JSON-serializable form of a System: the durable
@@ -15,6 +17,11 @@ type Snapshot struct {
 	Currencies []CurrencySnapshot  `json:"currencies,omitempty"`
 	Resources  []ResourceSnapshot  `json:"resources"`
 	Agreements []AgreementSnapshot `json:"agreements"`
+	// Overdraft declares that relative shares from one issuer may sum past
+	// 100%. Enforcement then scales the row back to 1 (the paper's
+	// K_ij = min(T_ij, 1) capping); without the declaration Validate treats
+	// an overcommitted row as an error.
+	Overdraft bool `json:"overdraft,omitempty"`
 }
 
 // PrincipalSnapshot declares one participant.
@@ -169,7 +176,7 @@ func (snap *Snapshot) Restore() (*System, map[string]PrincipalID, error) {
 		id := s.AddPrincipal(p.Name)
 		principals[p.Name] = id
 		currencies[p.Name] = s.CurrencyOf(id)
-		if p.FaceValue != 0 {
+		if !num.IsZero(p.FaceValue) {
 			if err := s.Inflate(s.CurrencyOf(id), p.FaceValue); err != nil {
 				return nil, nil, fmt.Errorf("agreement: snapshot: principal %q: %w", p.Name, err)
 			}
@@ -208,7 +215,7 @@ func (snap *Snapshot) Restore() (*System, map[string]PrincipalID, error) {
 			return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d to unknown %q", i, a.To)
 		}
 		switch {
-		case a.Fraction > 0 && a.Quantity == 0:
+		case a.Fraction > 0 && num.IsZero(a.Quantity):
 			if a.Granting {
 				return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d: relative grants are not defined", i)
 			}
@@ -216,7 +223,7 @@ func (snap *Snapshot) Restore() (*System, map[string]PrincipalID, error) {
 			if _, err := s.ShareRelative(from, to, units); err != nil {
 				return nil, nil, fmt.Errorf("agreement: snapshot: agreement %d: %w", i, err)
 			}
-		case a.Quantity > 0 && a.Fraction == 0:
+		case a.Quantity > 0 && num.IsZero(a.Fraction):
 			mode := Sharing
 			if a.Granting {
 				mode = Granting

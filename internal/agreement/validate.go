@@ -1,0 +1,408 @@
+package agreement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/num"
+)
+
+// Severity grades a Validate finding. Errors violate an invariant the
+// paper's enforcement model depends on and make the snapshot unsafe to
+// load; warnings flag legal-but-suspicious structure an operator should
+// look at.
+type Severity int
+
+const (
+	// SevWarning findings are reported but do not block loading.
+	SevWarning Severity = iota + 1
+	// SevError findings make a GRM refuse the snapshot.
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Finding is one Validate diagnostic.
+type Finding struct {
+	Severity Severity
+	// Rule names the violated invariant, e.g. "row-sum" for the paper's
+	// Σ_k S_ik ≤ 1 restriction.
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s [%s]: %s", f.Severity, f.Rule, f.Message)
+}
+
+// HasErrors reports whether any finding is error-severity.
+func HasErrors(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// FindingsError converts error-severity findings into a single error for
+// callers (the GRM snapshot loader) that reject invalid snapshots. It
+// returns nil when findings contains no errors.
+func FindingsError(findings []Finding) error {
+	var msgs []string
+	for _, f := range findings {
+		if f.Severity == SevError {
+			msgs = append(msgs, f.String())
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("agreement: invalid snapshot:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+// Validate statically checks the snapshot against the paper's structural
+// invariants without building a System. It returns every finding, errors
+// and warnings, in rule order:
+//
+//   - structure: empty/duplicate names, unknown references, agreements
+//     with neither or both of fraction/quantity, negative values (error)
+//   - currency-funding: a virtual currency whose funding source is
+//     undeclared, declared later, or part of a funding cycle (error)
+//   - row-sum: one issuer's relative shares sum past 100%, violating the
+//     paper's Σ_k S_ik ≤ 1 row restriction (error, warning when the
+//     snapshot declares "overdraft": true — enforcement then caps the
+//     row at 1, K_ij = min(T_ij, 1))
+//   - absolute-cap: absolute shares of one type from one issuer exceed
+//     the capacity it declares (error; warning when the issuer declares
+//     no resource of that type, since LRMs may register capacity at
+//     runtime)
+//   - cycle: the agreement graph has a cycle (warning — rings are legal
+//     experiment topologies; transitive valuation walks only simple
+//     paths, so a cycle usually means less capacity than the operator
+//     expects)
+//   - isolated: a principal with no resources, no agreements on either
+//     end and no currency funded from it (warning)
+//   - zero-capacity: an issuer shares a resource type for which every
+//     declared resource has zero capacity (warning)
+func (snap *Snapshot) Validate() []Finding {
+	var findings []Finding
+	report := func(sev Severity, rule, format string, args ...any) {
+		findings = append(findings, Finding{
+			Severity: sev,
+			Rule:     rule,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Namespaces: principals, and the shared issuer namespace (principals
+	// plus virtual currencies) agreements refer to.
+	principals := map[string]bool{}
+	for _, p := range snap.Principals {
+		if p.Name == "" {
+			report(SevError, "structure", "principal with empty name")
+			continue
+		}
+		if principals[p.Name] {
+			report(SevError, "structure", "duplicate principal %q", p.Name)
+			continue
+		}
+		if p.FaceValue < 0 {
+			report(SevError, "structure", "principal %q: negative face value %g", p.Name, p.FaceValue)
+		}
+		principals[p.Name] = true
+	}
+
+	issuers := map[string]bool{}
+	for name := range principals {
+		issuers[name] = true
+	}
+	// The full funding map is built up front so cycle detection sees
+	// forward edges (a cycle necessarily contains a forward reference).
+	curSource := map[string]string{}
+	for _, c := range snap.Currencies {
+		if c.Name != "" {
+			curSource[c.Name] = c.Source
+		}
+	}
+	declared := map[string]bool{}
+	for _, c := range snap.Currencies {
+		if c.Name == "" {
+			report(SevError, "structure", "currency with empty name")
+			continue
+		}
+		if issuers[c.Name] {
+			report(SevError, "structure", "duplicate name %q: already a principal or currency", c.Name)
+			continue
+		}
+		if c.Units < 0 || c.FaceValue < 0 {
+			report(SevError, "structure", "currency %q: negative units or face value", c.Name)
+		}
+		issuers[c.Name] = true
+		// Funding must resolve to something declared *earlier*: Restore
+		// processes currencies in order, and the paper's funding chains are
+		// acyclic by construction (a currency is backed by pre-existing
+		// value, T_ij^(m) chains terminate at real resources).
+		if !principals[c.Source] && !declared[c.Source] {
+			if fundingCyclic(c.Name, curSource) {
+				report(SevError, "currency-funding",
+					"currency %q: funding cycle %s — a currency cannot back itself; funding chains must terminate at a principal",
+					c.Name, fundingCyclePath(c.Name, curSource))
+			} else {
+				report(SevError, "currency-funding",
+					"currency %q funded by %q, which is not a principal or previously declared currency (funding must be declared source-first)",
+					c.Name, c.Source)
+			}
+		}
+		declared[c.Name] = true
+	}
+
+	// Resources: per-owner, per-type declared capacity.
+	capacity := map[ownerType]float64{}
+	resourceNames := map[string]bool{}
+	for _, r := range snap.Resources {
+		if r.Name == "" {
+			report(SevError, "structure", "resource with empty name")
+			continue
+		}
+		if resourceNames[r.Name] {
+			report(SevWarning, "structure", "duplicate resource %q", r.Name)
+		}
+		resourceNames[r.Name] = true
+		if !principals[r.Owner] {
+			report(SevError, "structure", "resource %q owned by unknown principal %q", r.Name, r.Owner)
+			continue
+		}
+		if r.Capacity < 0 {
+			report(SevError, "structure", "resource %q: negative capacity %g", r.Name, r.Capacity)
+			continue
+		}
+		capacity[ownerType{r.Owner, r.Type}] += r.Capacity
+	}
+
+	// Agreements: per-edge structure, then aggregate row sums and caps.
+	rowSum := map[string]float64{}
+	absSum := map[ownerType]float64{}
+	edges := map[string][]string{}
+	inAgreement := map[string]bool{}
+	for i, a := range snap.Agreements {
+		where := fmt.Sprintf("agreement %d (%s -> %s)", i, a.From, a.To)
+		if !issuers[a.From] {
+			report(SevError, "structure", "%s: from unknown %q", where, a.From)
+			continue
+		}
+		if !issuers[a.To] {
+			report(SevError, "structure", "%s: to unknown %q", where, a.To)
+			continue
+		}
+		inAgreement[a.From], inAgreement[a.To] = true, true
+		if a.From == a.To {
+			report(SevWarning, "structure", "%s: self-agreement has no effect", where)
+		}
+		hasFraction := a.Fraction > 0
+		hasQuantity := a.Quantity > 0
+		switch {
+		case a.Fraction < 0 || a.Quantity < 0:
+			report(SevError, "structure", "%s: negative share", where)
+			continue
+		case hasFraction == hasQuantity:
+			report(SevError, "structure", "%s: needs exactly one of fraction or quantity", where)
+			continue
+		case hasFraction && a.Granting:
+			report(SevError, "structure", "%s: relative grants are not defined", where)
+			continue
+		case hasQuantity && a.Type == "":
+			report(SevError, "structure", "%s: absolute share needs a resource type", where)
+			continue
+		}
+		if hasFraction {
+			if a.Fraction > 1 && !num.Eq(a.Fraction, 1) {
+				report(SevWarning, "row-sum",
+					"%s: fraction %g exceeds 1; enforcement caps any share at 100%% of the issuer (K_ij = min(T_ij, 1))",
+					where, a.Fraction)
+			}
+			rowSum[a.From] += a.Fraction
+		} else {
+			absSum[ownerType{a.From, a.Type}] += a.Quantity
+		}
+		edges[a.From] = append(edges[a.From], a.To)
+	}
+
+	// Row-sum restriction: Σ_k S_ik ≤ 1 unless overdraft is declared.
+	for _, from := range sortedKeys(rowSum) {
+		sum := rowSum[from]
+		if num.Leq(sum, 1) {
+			continue
+		}
+		sev := SevError
+		note := `issuer promises more than it has; declare "overdraft": true to accept proportional scaling`
+		if snap.Overdraft {
+			sev = SevWarning
+			note = "declared overdraft; enforcement caps the row at 100% per source"
+		}
+		report(sev, "row-sum",
+			"principal %q issues relative shares summing to %g > 1, violating the row-sum restriction Σ_k S_ik ≤ 1: %s",
+			from, sum, note)
+	}
+
+	// Absolute shares against declared capacity: U_ki = min(I_ki + A_ki, V_k).
+	for _, ot := range sortedOwnerTypes(absSum) {
+		sum := absSum[ot]
+		have, declares := capacity[ownerType{ot.owner, ot.typ}]
+		if !declares {
+			// Only principals declare resources; virtual currencies and
+			// principals whose LRMs register capacity at runtime get a warning.
+			report(SevWarning, "absolute-cap",
+				"%q shares %g of %q absolutely but declares no %q resource; the shares are unbacked until an LRM registers capacity",
+				ot.owner, sum, ot.typ, ot.typ)
+			continue
+		}
+		if num.IsZero(have) {
+			report(SevWarning, "zero-capacity",
+				"%q shares %g of %q but every declared %q resource has zero capacity",
+				ot.owner, sum, ot.typ, ot.typ)
+			continue
+		}
+		if !num.Leq(sum, have) {
+			report(SevError, "absolute-cap",
+				"%q shares %g of %q absolutely but declares only %g: absolute tickets may not exceed declared capacity (usable share U is capped at V_k)",
+				ot.owner, sum, ot.typ, have)
+		}
+	}
+
+	// Agreement-graph cycles (warning: legal topology, surprising capacity).
+	if cycle := findCycle(edges); cycle != nil {
+		report(SevWarning, "cycle",
+			"agreement graph has a cycle (%s): transitive valuation walks only simple paths, so shares do not compound around the loop",
+			strings.Join(cycle, " -> "))
+	}
+
+	// Isolated principals: no resources, no agreements, fund no currency.
+	fundsCurrency := map[string]bool{}
+	for _, c := range snap.Currencies {
+		fundsCurrency[c.Source] = true
+	}
+	ownsResource := map[string]bool{}
+	for _, r := range snap.Resources {
+		ownsResource[r.Owner] = true
+	}
+	for _, p := range snap.Principals {
+		if principals[p.Name] && !inAgreement[p.Name] && !ownsResource[p.Name] && !fundsCurrency[p.Name] {
+			report(SevWarning, "isolated",
+				"principal %q owns nothing, shares nothing and receives nothing: unreachable in the agreement graph", p.Name)
+		}
+	}
+
+	return findings
+}
+
+// fundingCyclic follows Source links from name; it reports whether the
+// walk revisits a currency (a funding cycle).
+func fundingCyclic(name string, source map[string]string) bool {
+	seen := map[string]bool{}
+	for cur := name; ; {
+		if seen[cur] {
+			return true
+		}
+		seen[cur] = true
+		next, ok := source[cur]
+		if !ok {
+			return false // reached a principal or an undeclared name
+		}
+		cur = next
+	}
+}
+
+// fundingCyclePath renders the funding chain from name until it repeats.
+func fundingCyclePath(name string, source map[string]string) string {
+	var path []string
+	seen := map[string]bool{}
+	for cur := name; ; cur = source[cur] {
+		path = append(path, cur)
+		if seen[cur] {
+			return strings.Join(path, " -> ")
+		}
+		seen[cur] = true
+		if _, ok := source[cur]; !ok {
+			return strings.Join(path, " -> ")
+		}
+	}
+}
+
+// findCycle returns one cycle in the agreement graph as a node path
+// (first node repeated at the end), or nil.
+func findCycle(edges map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range edges[n] {
+			switch color[m] {
+			case white:
+				if visit(m) {
+					return true
+				}
+			case gray:
+				for i, s := range stack {
+					if s == m {
+						cycle = append(append(cycle, stack[i:]...), m)
+						return true
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range sortedKeys(edges) {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ownerType keys per-issuer, per-resource-type aggregates.
+type ownerType struct{ owner, typ string }
+
+func sortedOwnerTypes[V any](m map[ownerType]V) []ownerType {
+	keys := make([]ownerType, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].owner != keys[j].owner {
+			return keys[i].owner < keys[j].owner
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	return keys
+}

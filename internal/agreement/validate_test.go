@@ -1,0 +1,234 @@
+package agreement
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// base returns a minimal valid snapshot the table cases mutate.
+func base() *Snapshot {
+	return &Snapshot{
+		Principals: []PrincipalSnapshot{{Name: "A"}, {Name: "B"}},
+		Resources: []ResourceSnapshot{
+			{Name: "rA", Type: "general", Owner: "A", Capacity: 100},
+			{Name: "rB", Type: "general", Owner: "B", Capacity: 40},
+		},
+		Agreements: []AgreementSnapshot{{From: "A", To: "B", Fraction: 0.5}},
+	}
+}
+
+func withRule(findings []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Snapshot)
+		rule    string   // expected rule, "" = expect no findings at all
+		sev     Severity // expected severity of the rule's findings
+		substr  string   // expected substring of the finding message
+		noError bool     // expect HasErrors == false even with findings
+	}{
+		{name: "valid", mutate: func(s *Snapshot) {}, rule: ""},
+		{
+			name:   "duplicate principal",
+			mutate: func(s *Snapshot) { s.Principals = append(s.Principals, PrincipalSnapshot{Name: "A"}) },
+			rule:   "structure", sev: SevError, substr: "duplicate principal",
+		},
+		{
+			name:   "unknown endpoint",
+			mutate: func(s *Snapshot) { s.Agreements[0].To = "ghost" },
+			rule:   "structure", sev: SevError, substr: "unknown",
+		},
+		{
+			name: "both fraction and quantity",
+			mutate: func(s *Snapshot) {
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Fraction: 0.5, Quantity: 10, Type: "general"}
+			},
+			rule: "structure", sev: SevError, substr: "exactly one",
+		},
+		{
+			name: "relative grant",
+			mutate: func(s *Snapshot) {
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Fraction: 0.5, Granting: true}
+			},
+			rule: "structure", sev: SevError, substr: "relative grants",
+		},
+		{
+			name: "quantity without type",
+			mutate: func(s *Snapshot) {
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Quantity: 10}
+			},
+			rule: "structure", sev: SevError, substr: "resource type",
+		},
+		{
+			name:   "negative capacity",
+			mutate: func(s *Snapshot) { s.Resources[0].Capacity = -1 },
+			rule:   "structure", sev: SevError, substr: "negative capacity",
+		},
+		{
+			name: "row sum overcommitted",
+			mutate: func(s *Snapshot) {
+				s.Agreements = append(s.Agreements, AgreementSnapshot{From: "A", To: "B", Fraction: 0.8})
+			},
+			rule: "row-sum", sev: SevError, substr: "Σ_k S_ik ≤ 1",
+		},
+		{
+			name: "row sum overcommitted with overdraft declared",
+			mutate: func(s *Snapshot) {
+				s.Overdraft = true
+				s.Agreements = append(s.Agreements, AgreementSnapshot{From: "A", To: "B", Fraction: 0.8})
+			},
+			rule: "row-sum", sev: SevWarning, substr: "declared overdraft", noError: true,
+		},
+		{
+			name: "row sum exactly one is legal",
+			mutate: func(s *Snapshot) {
+				s.Agreements = append(s.Agreements, AgreementSnapshot{From: "A", To: "B", Fraction: 0.5})
+			},
+			rule: "",
+		},
+		{
+			// A single fraction past 1 draws the per-agreement capping warning
+			// and (being an overcommitted row by itself) the row-sum check,
+			// downgraded here by the overdraft declaration.
+			name: "single fraction above one",
+			mutate: func(s *Snapshot) {
+				s.Overdraft = true
+				s.Agreements[0].Fraction = 1.5
+			},
+			rule: "row-sum", sev: SevWarning, substr: "min(T_ij, 1)", noError: true,
+		},
+		{
+			name: "absolute share exceeds declared capacity",
+			mutate: func(s *Snapshot) {
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Quantity: 150, Type: "general"}
+			},
+			rule: "absolute-cap", sev: SevError, substr: "declares only 100",
+		},
+		{
+			name: "absolute share with no declared resource",
+			mutate: func(s *Snapshot) {
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Quantity: 5, Type: "gpu"}
+			},
+			rule: "absolute-cap", sev: SevWarning, substr: "unbacked", noError: true,
+		},
+		{
+			name: "zero capacity with outgoing shares",
+			mutate: func(s *Snapshot) {
+				s.Resources[0].Capacity = 0
+				s.Agreements[0] = AgreementSnapshot{From: "A", To: "B", Quantity: 5, Type: "general"}
+			},
+			rule: "zero-capacity", sev: SevWarning, substr: "zero capacity", noError: true,
+		},
+		{
+			name: "currency funded by unknown source",
+			mutate: func(s *Snapshot) {
+				s.Currencies = []CurrencySnapshot{{Name: "X", Source: "ghost", Units: 10, FaceValue: 100}}
+			},
+			rule: "currency-funding", sev: SevError, substr: "not a principal",
+		},
+		{
+			name: "currency funding cycle",
+			mutate: func(s *Snapshot) {
+				s.Currencies = []CurrencySnapshot{
+					{Name: "X", Source: "Y", Units: 10, FaceValue: 100},
+					{Name: "Y", Source: "X", Units: 10, FaceValue: 100},
+				}
+			},
+			rule: "currency-funding", sev: SevError, substr: "funding cycle",
+		},
+		{
+			name: "agreement cycle",
+			mutate: func(s *Snapshot) {
+				s.Agreements = append(s.Agreements, AgreementSnapshot{From: "B", To: "A", Fraction: 0.5})
+			},
+			rule: "cycle", sev: SevWarning, substr: "cycle", noError: true,
+		},
+		{
+			name:   "isolated principal",
+			mutate: func(s *Snapshot) { s.Principals = append(s.Principals, PrincipalSnapshot{Name: "Z"}) },
+			rule:   "isolated", sev: SevWarning, substr: "unreachable", noError: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			snap := base()
+			tt.mutate(snap)
+			findings := snap.Validate()
+			if tt.rule == "" {
+				if len(findings) != 0 {
+					t.Fatalf("want no findings, got %v", findings)
+				}
+				return
+			}
+			hits := withRule(findings, tt.rule)
+			if len(hits) == 0 {
+				t.Fatalf("no %q finding in %v", tt.rule, findings)
+			}
+			found := false
+			for _, f := range hits {
+				if f.Severity == tt.sev && strings.Contains(f.Message, tt.substr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %v-severity %q finding containing %q in %v", tt.sev, tt.rule, tt.substr, hits)
+			}
+			if tt.noError && HasErrors(findings) {
+				t.Fatalf("want warnings only, got errors: %v", findings)
+			}
+			if !tt.noError && tt.sev == SevError {
+				if err := FindingsError(findings); err == nil {
+					t.Fatal("FindingsError = nil for error findings")
+				} else if !strings.Contains(err.Error(), tt.rule) {
+					t.Fatalf("FindingsError %q does not name rule %q", err, tt.rule)
+				}
+			}
+		})
+	}
+}
+
+func validateFile(t *testing.T, path string) []Finding {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.Validate()
+}
+
+func TestValidateCommunitySnapshot(t *testing.T) {
+	findings := validateFile(t, "../../testdata/community.json")
+	if len(findings) != 0 {
+		t.Errorf("community.json should lint clean, got %v", findings)
+	}
+}
+
+func TestValidateInvalidSnapshots(t *testing.T) {
+	for path, rule := range map[string]string{
+		"../../testdata/invalid/overcommit.json":      "row-sum",
+		"../../testdata/invalid/cyclic-currency.json": "currency-funding",
+	} {
+		findings := validateFile(t, path)
+		if !HasErrors(findings) {
+			t.Errorf("%s: want errors, got %v", path, findings)
+		}
+		if len(withRule(findings, rule)) == 0 {
+			t.Errorf("%s: no %q finding in %v", path, rule, findings)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/num"
 )
 
 // ErrSingularValuation is returned when currency values have no unique
@@ -52,7 +54,7 @@ func (s *System) Values(typ ResourceType) ([]float64, error) {
 		a[col], a[piv] = a[piv], a[col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] / a[col][col]
-			if f == 0 {
+			if num.IsZero(f) {
 				continue
 			}
 			for k := col; k <= n; k++ {

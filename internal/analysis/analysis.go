@@ -1,0 +1,165 @@
+// Package analysis is a small, dependency-free clone of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// typechecked package through a Pass and reports Diagnostics. The build
+// environment bakes in only the Go toolchain, so the suite cannot depend
+// on x/tools; the subset implemented here (single-pass analyzers, golden
+// tests, lint:ignore suppression) is all sharingvet needs.
+//
+// Suppression: a finding is dropped when the line it is reported on, or
+// the line directly above it, carries a comment of the form
+//
+//	//lint:ignore sharingvet/<analyzer> reason
+//
+// and a function's doc comment carrying the directive suppresses that
+// analyzer for the whole function body.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:ignore
+	// directives (sharingvet/<Name>).
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass hands one typechecked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (sharingvet/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes one analyzer over the package and returns its findings
+// with lint:ignore suppressions already applied, sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	sup := collectSuppressions(fset, files)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !sup.suppresses(a.Name, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+var ignoreRE = regexp.MustCompile(`lint:ignore\s+(?:sharingvet/)?([A-Za-z0-9_]+)`)
+
+type suppressions struct {
+	// lines maps file -> line -> analyzer names suppressed at that line.
+	lines map[string]map[int][]string
+	// spans are whole-function suppressions: [fromLine, toLine] per file.
+	spans map[string][]span
+}
+
+type span struct {
+	name     string
+	from, to int
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		lines: map[string]map[int][]string{},
+		spans: map[string][]span{},
+	}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range ignoreRE.FindAllStringSubmatch(c.Text, -1) {
+					line := fset.Position(c.Pos()).Line
+					if s.lines[fname] == nil {
+						s.lines[fname] = map[int][]string{}
+					}
+					s.lines[fname][line] = append(s.lines[fname][line], m[1])
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			// Doc.Text() strips //lint:... directives, so match the raw list.
+			for _, c := range fd.Doc.List {
+				for _, m := range ignoreRE.FindAllStringSubmatch(c.Text, -1) {
+					s.spans[fname] = append(s.spans[fname], span{
+						name: m[1],
+						from: fset.Position(fd.Pos()).Line,
+						to:   fset.Position(fd.End()).Line,
+					})
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppresses(analyzer string, pos token.Position) bool {
+	if lines := s.lines[pos.Filename]; lines != nil {
+		for _, l := range []int{pos.Line, pos.Line - 1} {
+			for _, name := range lines[l] {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, sp := range s.spans[pos.Filename] {
+		if sp.name == analyzer && pos.Line >= sp.from && pos.Line <= sp.to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+// Package analysistest runs an analyzer over a golden-file package and
+// checks its findings against `// want "regexp"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which the build
+// environment cannot depend on). Testdata packages live under
+// testdata/src/<name> and may import the standard library; they are
+// typechecked from source, never built.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+` + "[\"`](.*)[\"`]" + `\s*$`)
+
+// Run loads testdata/src/<pkg> relative to the test's working directory
+// and reports every mismatch between the analyzer's findings (after
+// lint:ignore suppression) and the `// want` expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	loader := analysis.NewLoader()
+	p, err := loader.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("typecheck %s: %v", dir, terr)
+	}
+	diags, err := analysis.Run(a, loader.Fset, p.Files, p.Types, p.Info)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key]*regexp.Regexp{}
+	matched := map[key]bool{}
+	for _, f := range p.Files {
+		fname := loader.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", loader.Fset.Position(c.Pos()), m[1], err)
+				}
+				wants[key{fname, loader.Fset.Position(c.Pos()).Line}] = re
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding at %s: %s", d.Pos, d.Message)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("finding at %s does not match want %q: %s", d.Pos, re, d.Message)
+		}
+		matched[k] = true
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

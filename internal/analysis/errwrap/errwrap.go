@@ -1,0 +1,56 @@
+// Package errwrap implements the sharingvet errwrap analyzer: an error
+// formatted into a new error with fmt.Errorf must use %w (or the caller
+// must construct a typed error), so errors.Is/As keep working across
+// internal package boundaries — the retry policy in the GRM client and
+// the overdraft handling in cmd/agreements both dispatch on wrapped
+// sentinel errors and silently lose that ability when a %v swallows the
+// cause.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags fmt.Errorf calls that format an error value without %w.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flags fmt.Errorf with error arguments but no %w verb (breaks errors.Is/As)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic format string; nothing to check
+			}
+			if strings.Contains(constant.StringVal(tv.Value), "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := pass.TypesInfo.Types[arg].Type
+				if t != nil && types.Implements(t, errIface) {
+					pass.Reportf(call.Pos(), "error formatted without %%w: errors.Is/As cannot see the cause; use %%w or a typed error")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

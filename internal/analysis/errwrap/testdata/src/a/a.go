@@ -1,0 +1,42 @@
+// Package a is golden input for the errwrap analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func verb(err error) error {
+	return fmt.Errorf("load snapshot: %v", err) // want "without %w"
+}
+
+func stringVerb(err error) error {
+	return fmt.Errorf("load snapshot: %s", err) // want "without %w"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load snapshot: %w", err) // ok
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad row count %d", n) // ok
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("load snapshot: %s", err.Error()) // string arg: ok
+}
+
+type parseError struct{ line int }
+
+func (e *parseError) Error() string { return "parse error" }
+
+func typedValue() error {
+	return fmt.Errorf("decode: %v", &parseError{line: 3}) // want "without %w"
+}
+
+func suppressed(err error) error {
+	//lint:ignore sharingvet/errwrap boundary error is deliberately opaque
+	return fmt.Errorf("internal failure: %v", err)
+}

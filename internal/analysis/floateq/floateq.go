@@ -1,0 +1,45 @@
+// Package floateq implements the sharingvet floateq analyzer: no ==/!=
+// with floating-point operands in the numeric layers. The LP pivots,
+// transitive coefficient chains and currency valuations all accumulate
+// rounding error; a raw equality silently turns into "never true" (or
+// worse, "sometimes true") after a refactor reorders arithmetic. Call
+// sites must state their intent through the internal/num helpers:
+// num.Eq for tolerant comparison, num.IsZero for exact sparsity guards.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags ==/!= where either operand is a float.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point operands; use internal/num.Eq or num.IsZero",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// A comparison folded to a constant (two literals, array
+			// lengths, ...) carries no runtime rounding risk.
+			if tv, ok := pass.TypesInfo.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			x := pass.TypesInfo.Types[be.X].Type
+			y := pass.TypesInfo.Types[be.Y].Type
+			if analysis.IsFloat(x) || analysis.IsFloat(y) {
+				pass.Reportf(be.OpPos, "float equality (%s): use num.Eq for tolerant or num.IsZero for exact-zero comparison", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}

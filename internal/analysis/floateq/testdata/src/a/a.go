@@ -1,0 +1,37 @@
+// Package a is golden input for the floateq analyzer.
+package a
+
+func eq(a, b float64) bool {
+	return a == b // want "float equality"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "float equality"
+}
+
+type share float64
+
+func namedFloat(s share) bool {
+	return s == 0 // want "float equality"
+}
+
+func mixed(xs []float64, i int) bool {
+	return xs[i] != 1.0 // want "float equality"
+}
+
+func ints(a, b int) bool {
+	return a == b // integers compare exactly: ok
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0 // compile-time constant: ok
+}
+
+func ordered(a, b float64) bool {
+	return a < b // only ==/!= are flagged
+}
+
+func suppressedInline(a, b float64) bool {
+	//lint:ignore sharingvet/floateq exactness is the contract under test
+	return a == b
+}

@@ -1,0 +1,12 @@
+package lockedio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockedio"
+)
+
+func TestLockedIO(t *testing.T) {
+	analysistest.Run(t, lockedio.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/netdeadline"
+)
+
+func TestNetDeadline(t *testing.T) {
+	analysistest.Run(t, netdeadline.Analyzer, "a")
+}

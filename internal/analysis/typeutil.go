@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsFloat reports whether t's underlying type is a floating-point type
+// (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// LookupIface finds an interface type by package path and name in the
+// transitive imports of pkg (e.g. "net", "Conn"). Returns nil when the
+// package graph does not reach it.
+func LookupIface(pkg *types.Package, path, name string) *types.Interface {
+	p := findImport(pkg, path, map[*types.Package]bool{})
+	if p == nil {
+		return nil
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if pkg.Path() == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if p := findImport(imp, path, seen); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// Implements reports whether t or *t satisfies iface.
+func Implements(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// Callee resolves the called function or method of a call expression, or
+// nil for calls through function-typed values and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// RecvType returns the type of the receiver expression for a method call
+// like x.M(...), or nil for anything else.
+func RecvType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	// Only method selections, not package-qualified identifiers.
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}
+
+// MethodFullName returns go/types' full name for a call's callee, e.g.
+// "(*sync.Mutex).Lock" or "net.Dial", or "" when unresolvable.
+func MethodFullName(info *types.Info, call *ast.CallExpr) string {
+	f := Callee(info, call)
+	if f == nil {
+		return ""
+	}
+	return f.FullName()
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/transitive"
+
+	"repro/internal/num"
 )
 
 // ErrInsufficient is wrapped by Plan when the requester's capacity C_A is
@@ -177,7 +179,7 @@ func (al *Allocator) Plan(v []float64, requester int, amount float64) (*Allocati
 		return nil, fmt.Errorf("%w: principal %d has capacity %g, requested %g",
 			ErrInsufficient, requester, caps[requester], amount)
 	}
-	if amount == 0 {
+	if num.IsZero(amount) {
 		return &Allocation{Take: make([]float64, al.n), NewV: append([]float64(nil), v...)}, nil
 	}
 	if al.cfg.Faithful {
@@ -231,7 +233,7 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 			}
 			hasAbs := al.a != nil && al.a[k][i] > 0
 			if !hasAbs {
-				if al.k[k][i] != 0 {
+				if !num.IsZero(al.k[k][i]) {
 					terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][i]})
 				}
 				continue
@@ -252,7 +254,7 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 			if k == requester {
 				continue
 			}
-			if al.k[k][requester] != 0 {
+			if !num.IsZero(al.k[k][requester]) {
 				terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][requester]})
 			}
 		}
@@ -319,7 +321,7 @@ func normalizeTakes(a *Allocation, v []float64, amount float64) {
 		}
 	}
 	resid := amount - sum
-	if resid != 0 && a.Take[maxIdx]+resid >= 0 {
+	if !num.IsZero(resid) && a.Take[maxIdx]+resid >= 0 {
 		a.Take[maxIdx] += resid
 		a.NewV[maxIdx] = v[maxIdx] - a.Take[maxIdx]
 	}

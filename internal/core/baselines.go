@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/transitive"
+
+	"repro/internal/num"
 )
 
 // Proportional is the paper's "endpoint enforcement" baseline (Figure 13):
@@ -70,7 +72,7 @@ func (p *Proportional) Plan(v []float64, requester int, amount float64) (*Alloca
 	}
 	if remaining > 0 && totalW > 0 {
 		for k := 0; k < p.n; k++ {
-			if weights[k] == 0 {
+			if num.IsZero(weights[k]) {
 				continue
 			}
 			out.Take[k] = remaining * weights[k] / totalW

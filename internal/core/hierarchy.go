@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/lp"
+
+	"repro/internal/num"
 )
 
 // Hierarchy implements the multi-grid refinement of Section 3.2 for
@@ -112,7 +114,7 @@ func (h *Hierarchy) Plan(v []float64, requester int, amount float64) (*Allocatio
 	}
 	n := h.full.N()
 	out := &Allocation{Take: make([]float64, n), NewV: append([]float64(nil), v...)}
-	if amount == 0 {
+	if num.IsZero(amount) {
 		return out, nil
 	}
 	g := h.of[requester]
@@ -185,7 +187,7 @@ func (h *Hierarchy) coarsePlan(vg []float64, home int, amount float64) ([]float6
 			if gk == gi {
 				coeff = 1
 			}
-			if coeff != 0 {
+			if !num.IsZero(coeff) {
 				row = append(row, lp.Term{Var: take[gk], Coeff: coeff})
 			}
 		}
@@ -211,7 +213,7 @@ func (h *Hierarchy) coarsePlan(vg []float64, home int, amount float64) ([]float6
 	for _, x := range out {
 		sum += x
 	}
-	if resid := amount - sum; resid != 0 && out[home]+resid >= 0 && out[home]+resid <= vg[home] {
+	if resid := amount - sum; !num.IsZero(resid) && out[home]+resid >= 0 && out[home]+resid <= vg[home] {
 		out[home] += resid
 	}
 	return out, nil
@@ -266,7 +268,7 @@ func (h *Hierarchy) refineGroup(v []float64, out *Allocation, g, requester int, 
 			if k == i {
 				coeff = 1
 			}
-			if coeff != 0 {
+			if !num.IsZero(coeff) {
 				row = append(row, lp.Term{Var: take[idx], Coeff: coeff})
 			}
 		}

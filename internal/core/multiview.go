@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/transitive"
+
+	"repro/internal/num"
 )
 
 // MultiView implements the paper's named future-work extension: "this
@@ -171,7 +173,7 @@ func (mv *MultiView) Plan(v []float64, requester int, request map[string]float64
 				if k == j {
 					coeff = 1
 				}
-				if coeff == 0 {
+				if num.IsZero(coeff) {
 					continue
 				}
 				for _, name := range asked {

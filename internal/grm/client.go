@@ -74,6 +74,8 @@ func Dial(addr, name string, capacity float64) (*LRM, error) {
 }
 
 // DialWithConfig is Dial with an explicit failure policy.
+//
+//lint:ignore sharingvet/lockedio l.mu intentionally serializes the dial+register exchange; the LRM is unpublished until Dial returns, and no other lock nests under l.mu
 func DialWithConfig(addr, name string, capacity float64, cfg DialConfig) (*LRM, error) {
 	if cfg.Dialer == nil {
 		cfg.Dialer = func(addr string) (net.Conn, error) {
@@ -208,6 +210,8 @@ func (l *LRM) backoff(attempt int) time.Duration {
 // roundTrip performs one request/response exchange, reconnecting and
 // retrying on transport errors up to RetryMax times. Application-level
 // errors (Response.Err) are returned immediately and never retried.
+//
+//lint:ignore sharingvet/lockedio holding l.mu across the exchange is the design: it serializes the strictly alternating request/response protocol on one connection, every op is bounded by cfg.Timeout deadlines, and no other lock nests under l.mu
 func (l *LRM) roundTrip(req *Request) (*Response, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

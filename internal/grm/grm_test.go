@@ -450,6 +450,37 @@ func TestLoadSnapshot(t *testing.T) {
 	}
 }
 
+func TestLoadSnapshotRejectsInvalid(t *testing.T) {
+	// A row summing past 100% without a declared overdraft violates the
+	// paper's Σ_k S_ik ≤ 1 restriction; the GRM must refuse to start on it.
+	snap := &agreement.Snapshot{
+		Principals: []agreement.PrincipalSnapshot{{Name: "A"}, {Name: "B"}},
+		Resources: []agreement.ResourceSnapshot{
+			{Name: "rA", Type: "general", Owner: "A", Capacity: 100},
+			{Name: "rB", Type: "general", Owner: "B", Capacity: 40},
+		},
+		Agreements: []agreement.AgreementSnapshot{
+			{From: "A", To: "B", Fraction: 0.7},
+			{From: "A", To: "B", Fraction: 0.6},
+		},
+	}
+	s := NewServer(core.Config{}, nil)
+	err := s.LoadSnapshot(snap)
+	if err == nil {
+		t.Fatal("LoadSnapshot accepted an overcommitted snapshot")
+	}
+	if !strings.Contains(err.Error(), "row-sum") {
+		t.Errorf("error %q does not name the violated invariant", err)
+	}
+
+	// Declaring the overdraft downgrades the finding to a warning and the
+	// snapshot loads.
+	snap.Overdraft = true
+	if err := s.LoadSnapshot(snap); err != nil {
+		t.Fatalf("LoadSnapshot rejected a declared overdraft: %v", err)
+	}
+}
+
 func TestRegisterSameNameRebinds(t *testing.T) {
 	_, addr := startServer(t, core.Config{})
 	a1, err := Dial(addr, "siteA", 100)

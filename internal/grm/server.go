@@ -199,6 +199,13 @@ func (s *Server) Close() error {
 // pre-registered; LRMs that later register under a declared name bind to
 // the declared principal. Call before Serve.
 func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
+	findings := snap.Validate()
+	if err := agreement.FindingsError(findings); err != nil {
+		return fmt.Errorf("grm: LoadSnapshot: %w", err)
+	}
+	for _, f := range findings {
+		s.logger.Printf("grm: snapshot %s", f)
+	}
 	sys, principals, err := snap.Restore()
 	if err != nil {
 		return err

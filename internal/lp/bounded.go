@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/num"
 )
 
 // BoundedRevised is the revised simplex with implicit variable bounds:
@@ -215,7 +217,7 @@ func newBoundedSolver(bf *boundedForm) *boundedSolver {
 	}
 	for j := 0; j < bf.n; j++ {
 		for i := 0; i < bf.m; i++ {
-			if v := bf.a[i][j]; v != 0 {
+			if v := bf.a[i][j]; !num.IsZero(v) {
 				s.cols[j] = append(s.cols[j], colEntry{row: i, val: v})
 			}
 		}
@@ -263,7 +265,7 @@ func (s *boundedSolver) dualVector(cost []float64) []float64 {
 	y := make([]float64, m)
 	for i, bc := range s.basis {
 		c := cost[bc]
-		if c == 0 {
+		if num.IsZero(c) {
 			continue
 		}
 		row := s.binv[i]
@@ -424,7 +426,7 @@ func (s *boundedSolver) pivot(leave, enter int, d []float64) {
 			continue
 		}
 		f := d[i]
-		if f == 0 {
+		if num.IsZero(f) {
 			continue
 		}
 		row := s.binv[i]
@@ -474,7 +476,7 @@ func (s *boundedSolver) refactor() {
 				continue
 			}
 			g := a[i][col]
-			if g == 0 {
+			if num.IsZero(g) {
 				continue
 			}
 			for k := col; k < 2*m; k++ {

@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/num"
 )
 
 // Inf is the canonical "no bound" value for variable bounds.
@@ -150,7 +152,7 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Relation, rhs float
 	}
 	clean := make([]Term, 0, len(order))
 	for _, v := range order {
-		if c := merged[v]; c != 0 {
+		if c := merged[v]; !num.IsZero(c) {
 			clean = append(clean, Term{Var: v, Coeff: c})
 		}
 	}
@@ -214,7 +216,7 @@ func (m *Model) String() string {
 	out := m.sense.String() + " "
 	first := true
 	for _, v := range m.vars {
-		if v.obj == 0 {
+		if num.IsZero(v.obj) {
 			continue
 		}
 		if !first {

@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/num"
 )
 
 // Method selects the simplex implementation.
@@ -143,7 +145,7 @@ func newRevised(sf *standardForm) *revised {
 	}
 	for j := 0; j < sf.n; j++ {
 		for i := 0; i < sf.m; i++ {
-			if v := sf.a[i][j]; v != 0 {
+			if v := sf.a[i][j]; !num.IsZero(v) {
 				r.cols[j] = append(r.cols[j], colEntry{row: i, val: v})
 			}
 		}
@@ -189,7 +191,7 @@ func (r *revised) dualVector(cost []float64) []float64 {
 	y := make([]float64, m)
 	for i, bc := range r.basis {
 		c := cost[bc]
-		if c == 0 {
+		if num.IsZero(c) {
 			continue
 		}
 		row := r.binv[i]
@@ -310,7 +312,7 @@ func (r *revised) pivot(leave, enter int, d []float64) {
 			continue
 		}
 		f := d[i]
-		if f == 0 {
+		if num.IsZero(f) {
 			continue
 		}
 		row := r.binv[i]
@@ -365,7 +367,7 @@ func (r *revised) refactor() {
 				continue
 			}
 			g := a[i][col]
-			if g == 0 {
+			if num.IsZero(g) {
 				continue
 			}
 			for k := col; k < 2*m; k++ {

@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/num"
 )
 
 const (
@@ -54,7 +56,7 @@ func (t *tableau) setObjective(cost []float64) {
 	t.objRHS = 0
 	for r, bc := range t.basis {
 		c := cost[bc]
-		if c == 0 {
+		if num.IsZero(c) {
 			continue
 		}
 		for j := range t.obj {
@@ -81,7 +83,7 @@ func (t *tableau) pivot(leave, enter int) {
 			continue
 		}
 		f := t.a[r][enter]
-		if f == 0 {
+		if num.IsZero(f) {
 			continue
 		}
 		row := t.a[r]
@@ -94,7 +96,7 @@ func (t *tableau) pivot(leave, enter int) {
 		}
 	}
 	f := t.obj[enter]
-	if f != 0 {
+	if !num.IsZero(f) {
 		for j := range t.obj {
 			t.obj[j] -= f * rowL[j]
 		}

@@ -1,0 +1,44 @@
+// Package num centralizes floating-point comparison policy for the
+// numeric layers (lp, transitive, core, agreement). Raw ==/!= on floats
+// is banned there by the sharingvet floateq analyzer; comparisons must go
+// through these helpers so every call site states whether it wants exact
+// (bit-level, e.g. sparsity guards) or tolerant (epsilon) semantics.
+package num
+
+import "math"
+
+// Eps is the default relative tolerance for Eq/Leq/Geq. The LP layer
+// resolves pivots around 1e-9; values closer than that are numerically
+// indistinguishable to the solver.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps, scaled by the larger
+// magnitude (relative for large values, absolute near zero).
+func Eq(a, b float64) bool {
+	if a == b { //lint:ignore sharingvet/floateq the helper the analyzer points to
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= Eps*scale
+}
+
+// IsZero reports whether x is exactly zero. It exists for sparsity
+// guards — "skip this matrix entry / objective coefficient" — where the
+// test is structural (was anything ever stored here?) and an epsilon
+// would silently drop small but real values. Use Eq(x, 0) when you mean
+// "numerically negligible".
+func IsZero(x float64) bool {
+	return x == 0 //lint:ignore sharingvet/floateq exact zero is the documented contract
+}
+
+// Leq reports a <= b within Eps tolerance (a may exceed b by Eps*scale).
+func Leq(a, b float64) bool {
+	if a <= b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return a-b <= Eps*scale
+}
+
+// Geq reports a >= b within Eps tolerance.
+func Geq(a, b float64) bool { return Leq(b, a) }

@@ -82,11 +82,11 @@ func ReadCSV(r io.Reader) ([]Request, error) {
 		}
 		arrival, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: bad arrival: %w", lineNo, err)
 		}
 		length, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad length: %v", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: bad length: %w", lineNo, err)
 		}
 		if arrival < 0 || length < 0 {
 			return nil, fmt.Errorf("trace: line %d: negative field in %q", lineNo, line)

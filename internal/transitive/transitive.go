@@ -25,6 +25,8 @@ package transitive
 
 import (
 	"fmt"
+
+	"repro/internal/num"
 )
 
 // Validate checks that S is a square agreement matrix with a zero
@@ -37,7 +39,7 @@ func Validate(s [][]float64) error {
 		if len(row) != n {
 			return fmt.Errorf("transitive: S is not square: row %d has %d entries, want %d", i, len(row), n)
 		}
-		if row[i] != 0 {
+		if !num.IsZero(row[i]) {
 			return fmt.Errorf("transitive: S[%d][%d] = %g, diagonal must be zero", i, i, row[i])
 		}
 		for j, v := range row {
@@ -70,7 +72,7 @@ func Exact(s [][]float64, maxLen int) [][]float64 {
 			return
 		}
 		for next := 0; next < n; next++ {
-			if visited[next] || s[cur][next] == 0 {
+			if visited[next] || num.IsZero(s[cur][next]) {
 				continue
 			}
 			p := product * s[cur][next]
@@ -211,7 +213,7 @@ func WithinBudget(s [][]float64, maxLen int, budget int) bool {
 			return true
 		}
 		for next := 0; next < n; next++ {
-			if visited[next] || s[cur][next] == 0 {
+			if visited[next] || num.IsZero(s[cur][next]) {
 				continue
 			}
 			steps++
@@ -273,7 +275,7 @@ func matmul(a, b [][]float64) [][]float64 {
 	for i := 0; i < n; i++ {
 		for k := 0; k < n; k++ {
 			aik := a[i][k]
-			if aik == 0 {
+			if num.IsZero(aik) {
 				continue
 			}
 			row := b[k]
