@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check bench fuzz clean
+.PHONY: build test race lint check bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ check: build
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Enforcement hot-path benchmarks (allocation planning, transitive
+# closure, the simplex solvers) captured into BENCH_hotpath.json. The
+# file's "baseline" snapshot is frozen on first write; later runs only
+# replace "current", so the tracked file records the trajectory against
+# the pre-optimization numbers. BENCHTIME=1x gives a smoke run in CI.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) \
+		./internal/core/ ./internal/transitive/ ./internal/lp/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 
 # Short local fuzz pass over the snapshot decoder.
 fuzz:

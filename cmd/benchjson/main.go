@@ -1,0 +1,181 @@
+// Command benchjson turns `go test -bench` output into a tracked JSON
+// trajectory file. It reads benchmark output on stdin and writes (or
+// updates) a JSON document with two snapshots:
+//
+//   - "baseline": the frozen reference numbers. If the output file already
+//     contains a baseline it is preserved verbatim, so the baseline stays
+//     pinned to the run that first created the file.
+//   - "current": the numbers parsed from stdin, replacing the previous
+//     current snapshot.
+//
+// Benchmark names are qualified by their package ("internal/core.
+// BenchmarkPlanSubstituted10") using the `pkg:` lines go test emits, so one
+// file can track several packages. A comparison table of current vs
+// baseline is printed to stderr.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/core/ | benchjson -out BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is one full bench run.
+type Snapshot struct {
+	Captured   string           `json:"captured"`
+	GoVersion  string           `json:"go_version,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// File is the on-disk document.
+type File struct {
+	Comment  string    `json:"comment,omitempty"`
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  *Snapshot `json:"current,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "JSON file to write/update")
+	comment := flag.String("comment", "", "set the file-level comment (kept as-is when empty)")
+	flag.Parse()
+
+	snap := &Snapshot{
+		Captured:   time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]Entry{},
+	}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			// Strip the module prefix; the repo-relative path reads better.
+			if i := strings.Index(pkg, "/"); i >= 0 {
+				pkg = pkg[i+1:]
+			}
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "):
+			// ignored; implied by the repo's CI environment
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name := m[1]
+			if pkg != "" {
+				name = pkg + "." + name
+			}
+			e := Entry{NsPerOp: atof(m[2])}
+			if m[3] != "" {
+				b, a := atof(m[3]), atof(m[4])
+				e.BytesPerOp, e.AllocsPerOp = &b, &a
+			}
+			snap.Benchmarks[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	var doc File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal("parse existing %s: %v", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		fatal("read %s: %v", *out, err)
+	}
+	if *comment != "" {
+		doc.Comment = *comment
+	}
+	if doc.Baseline == nil {
+		doc.Baseline = snap
+	}
+	doc.Current = snap
+
+	raw, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+
+	report(doc.Baseline, doc.Current)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// report prints a current-vs-baseline table to stderr.
+func report(base, cur *Snapshot) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		line := fmt.Sprintf("%-*s %12.0f ns/op", w, name, c.NsPerOp)
+		if c.AllocsPerOp != nil {
+			line += fmt.Sprintf(" %8.0f allocs/op", *c.AllocsPerOp)
+		}
+		if b, ok := base.Benchmarks[name]; ok && b.NsPerOp > 0 {
+			line += fmt.Sprintf("  (%+6.1f%% vs baseline)", 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func atof(s string) float64 {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fatal("parse number %q: %v", s, err)
+	}
+	return f
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -135,3 +135,47 @@ func suppressedInline(s *S, c net.Conn, buf []byte) {
 	//lint:ignore sharingvet/lockedio bounded by the caller's deadline
 	c.Read(buf)
 }
+
+// solve stands in for a pure CPU-bound computation (an LP solve).
+func solve(v []float64) float64 {
+	var x float64
+	for _, y := range v {
+		x += y
+	}
+	return x
+}
+
+// unlockSolveRelock is the GRM's optimistic-concurrency shape: snapshot
+// under the lock, drop it for the solve, and re-acquire to commit. No
+// diagnostic — the solve runs outside the lock region, and a pure
+// computation is not I/O even when a later relocked section follows.
+func unlockSolveRelock(s *S, v []float64) float64 {
+	s.mu.Lock()
+	snap := append([]float64(nil), v...)
+	s.mu.Unlock()
+	r := solve(snap)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r
+}
+
+// unlockIORelock drops the lock around the network round trip and
+// re-acquires it to commit (the federation borrow shape): ok.
+func unlockIORelock(s *S, c net.Conn, buf []byte) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	c.Read(buf)
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// relockThenIO re-acquires after an unlocked stretch and only then does
+// I/O: the second critical section must still be flagged.
+func relockThenIO(s *S, c net.Conn, buf []byte) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	solve(nil)
+	s.mu.Lock()
+	c.Read(buf) // want "conn read while holding s.mu"
+	s.mu.Unlock()
+}

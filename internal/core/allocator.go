@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/lp"
 	"repro/internal/transitive"
@@ -59,8 +60,10 @@ type Config struct {
 	LPMethod lp.Method
 }
 
-// Allocator enforces sharing agreements by linear programming. It is
-// immutable after construction and safe for concurrent use.
+// Allocator enforces sharing agreements by linear programming. Its
+// agreement state is immutable after construction and it is safe for
+// concurrent use: the lazily built LP skeletons and the pooled plan
+// workspaces are internally synchronized.
 type Allocator struct {
 	n   int
 	s   [][]float64 // relative agreements (kept for reporting)
@@ -70,6 +73,38 @@ type Allocator struct {
 	// conn[i] is a connectivity weight used for deterministic
 	// tie-breaking: how much of i's capacity other principals can reach.
 	conn []float64
+	// colIdx[i] lists the sources k≠i with a nonzero flow into i
+	// (K_ki ≠ 0 or A_ki ≠ 0), in ascending order. Capacity sums walk
+	// this index instead of scanning the dense column; the skipped terms
+	// are exactly zero, so the result is bit-identical.
+	colIdx [][]int32
+	// skel[r] caches the LP skeleton for requester r: the constraint
+	// coefficients depend only on K and A, so per Plan call only the
+	// variable bounds and right-hand sides are rebound.
+	skel []*planSkeleton
+	pool sync.Pool // *planWS
+}
+
+// planSkeleton is the reusable part of requester r's substituted LP:
+// the model structure plus the rows whose right-hand sides change per
+// solve. Built once per requester on first use.
+type planSkeleton struct {
+	once       sync.Once
+	model      *lp.Model
+	consumeRow int
+	perturbRow []int // row of perturb_i, -1 where the row does not exist
+	dropRow    int   // requester_drop row, -1 unless KeepRequesterConstraint
+}
+
+// planWS is the per-Plan scratch recycled through Allocator.pool: the
+// capacity/source-cap vectors, the per-requester rebindable model clones,
+// and the LP solver workspace.
+type planWS struct {
+	caps   []float64 // C_i before the allocation
+	uCol   []float64 // U_{i→requester} (v[i] for the requester itself)
+	after  []float64 // C_i after the candidate allocation
+	clones []*lp.Model
+	lpws   lp.Workspace
 }
 
 // NewAllocator builds an allocator from a relative agreement matrix S and
@@ -124,6 +159,29 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 			}
 		}
 	}
+	al.colIdx = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < n; kk++ {
+			if kk == i {
+				continue
+			}
+			if !num.IsZero(k[kk][i]) || (a != nil && !num.IsZero(a[kk][i])) {
+				al.colIdx[i] = append(al.colIdx[i], int32(kk))
+			}
+		}
+	}
+	al.skel = make([]*planSkeleton, n)
+	for i := range al.skel {
+		al.skel[i] = &planSkeleton{}
+	}
+	al.pool.New = func() any {
+		return &planWS{
+			caps:   make([]float64, n),
+			uCol:   make([]float64, n),
+			after:  make([]float64, n),
+			clones: make([]*lp.Model, n),
+		}
+	}
 	return al, nil
 }
 
@@ -152,14 +210,34 @@ func (al *Allocator) sourceCap(v []float64, i, requester int) float64 {
 	if i == requester {
 		return v[i]
 	}
-	u := v[i] * al.k[i][requester]
+	return al.uFlow(v, i, requester)
+}
+
+// uFlow returns U_ki = min(V_k·K_ki + A_ki, V_k) for k ≠ i, in the exact
+// operation order of transitive.Capacities.
+func (al *Allocator) uFlow(v []float64, k, i int) float64 {
+	u := v[k] * al.k[k][i]
 	if al.a != nil {
-		u += al.a[i][requester]
+		u += al.a[k][i]
 	}
-	if u > v[i] {
-		u = v[i]
+	if u > v[k] {
+		u = v[k]
 	}
 	return u
+}
+
+// capsInto computes C_i = V_i + Σ_{k≠i} U_ki into dst, walking the
+// precomputed sparse column index. Sources skipped by the index have
+// K_ki = 0 and A_ki = 0, so their U_ki is exactly zero and the sum is
+// bit-identical to the dense transitive.Capacities scan.
+func (al *Allocator) capsInto(dst, v []float64) {
+	for i := 0; i < al.n; i++ {
+		c := v[i]
+		for _, k := range al.colIdx[i] {
+			c += al.uFlow(v, int(k), i)
+		}
+		dst[i] = c
+	}
 }
 
 // Plan chooses the allocation minimizing the maximum capacity perturbation
@@ -174,22 +252,32 @@ func (al *Allocator) Plan(v []float64, requester int, amount float64) (*Allocati
 	if amount < 0 {
 		return nil, fmt.Errorf("core: negative request %g", amount)
 	}
-	caps := al.Capacities(v)
-	if caps[requester] < amount-1e-9 {
+	ws := al.pool.Get().(*planWS)
+	defer al.pool.Put(ws)
+	al.capsInto(ws.caps, v)
+	if ws.caps[requester] < amount-1e-9 {
 		return nil, fmt.Errorf("%w: principal %d has capacity %g, requested %g",
-			ErrInsufficient, requester, caps[requester], amount)
+			ErrInsufficient, requester, ws.caps[requester], amount)
 	}
 	if num.IsZero(amount) {
 		return &Allocation{Take: make([]float64, al.n), NewV: append([]float64(nil), v...)}, nil
 	}
-	if al.cfg.Faithful {
-		return al.planFaithful(v, requester, amount, caps)
+	// The requester's U column, computed once: it bounds V'_i from below
+	// in the LP and caps each source's take during normalization.
+	for i := 0; i < al.n; i++ {
+		ws.uCol[i] = al.sourceCap(v, i, requester)
 	}
-	return al.planSubstituted(v, requester, amount, caps)
+	if al.cfg.Faithful {
+		return al.planFaithful(v, requester, amount, ws)
+	}
+	return al.planSubstituted(v, requester, amount, ws)
 }
 
-// planSubstituted builds the n+1-variable LP: variables V'_i and θ.
-func (al *Allocator) planSubstituted(v []float64, requester int, amount float64, caps []float64) (*Allocation, error) {
+// buildSkeleton constructs requester's substituted LP structure with
+// placeholder bounds and right-hand sides. The variable and constraint
+// order matches the historical per-call construction exactly, so solves
+// over a rebound skeleton pivot identically.
+func (al *Allocator) buildSkeleton(sk *planSkeleton, requester int) {
 	n := al.n
 	m := lp.NewModel(lp.Minimize)
 
@@ -200,28 +288,25 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 	const eps = 1e-6
 	vp := make([]lp.VarID, n)
 	for i := 0; i < n; i++ {
-		hi := v[i]
-		lo := v[i] - al.sourceCap(v, i, requester)
-		if lo < 0 {
-			lo = 0
-		}
-		vp[i] = m.AddVar(fmt.Sprintf("V'_%d", i), lo, hi, -eps*al.conn[i])
+		vp[i] = m.AddVar(fmt.Sprintf("V'_%d", i), 0, 0, -eps*al.conn[i])
 	}
 	theta := m.AddVar("theta", 0, lp.Inf, 1)
 
 	// Σ V'_i = Σ V_i − amount  (eq. 5).
-	var totalV float64
 	sumTerms := make([]lp.Term, n)
 	for i := 0; i < n; i++ {
-		totalV += v[i]
 		sumTerms[i] = lp.Term{Var: vp[i], Coeff: 1}
 	}
-	m.AddConstraint("consume", sumTerms, lp.EQ, totalV-amount)
+	sk.consumeRow = m.AddConstraint("consume", sumTerms, lp.EQ, 0)
 
 	// C'_i ≥ C_i − θ for the non-requesting principals (eq. 6; see the
 	// package comment for the requester treatment). When absolute
 	// agreements are present, min(V'_k·K_ki + A_ki, V'_k) is linearized
 	// with auxiliary variables u_ki (its superlevel set is convex).
+	sk.perturbRow = make([]int, n)
+	for i := range sk.perturbRow {
+		sk.perturbRow[i] = -1
+	}
 	for i := 0; i < n; i++ {
 		if i == requester && !al.cfg.KeepRequesterConstraint {
 			continue
@@ -245,8 +330,9 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -1}}, lp.LE, 0)
 			terms = append(terms, lp.Term{Var: u, Coeff: 1})
 		}
-		m.AddConstraint(fmt.Sprintf("perturb_%d", i), terms, lp.GE, caps[i])
+		sk.perturbRow[i] = m.AddConstraint(fmt.Sprintf("perturb_%d", i), terms, lp.GE, 0)
 	}
+	sk.dropRow = -1
 	if al.cfg.KeepRequesterConstraint {
 		// eq. 3: C'_A = C_A − x, expressed on the same linearization.
 		terms := []lp.Term{{Var: vp[requester], Coeff: 1}}
@@ -258,23 +344,66 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 				terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][requester]})
 			}
 		}
-		m.AddConstraint("requester_drop", terms, lp.GE, caps[requester]-amount)
+		sk.dropRow = m.AddConstraint("requester_drop", terms, lp.GE, 0)
+	}
+	sk.model = m
+}
+
+// skeleton returns requester's LP skeleton, building it on first use.
+func (al *Allocator) skeleton(requester int) *planSkeleton {
+	sk := al.skel[requester]
+	sk.once.Do(func() { al.buildSkeleton(sk, requester) })
+	return sk
+}
+
+// planSubstituted solves the n+1-variable LP (variables V'_i and θ) by
+// rebinding the cached skeleton: only the V'_i bounds and the consume /
+// perturb / requester_drop right-hand sides change between calls.
+func (al *Allocator) planSubstituted(v []float64, requester int, amount float64, ws *planWS) (*Allocation, error) {
+	n := al.n
+	sk := al.skeleton(requester)
+	m := ws.clones[requester]
+	if m == nil {
+		m = sk.model.Clone()
+		ws.clones[requester] = m
 	}
 
-	sol, err := m.SolveWith(al.cfg.LPMethod)
+	for i := 0; i < n; i++ {
+		lo := v[i] - ws.uCol[i]
+		if lo < 0 {
+			lo = 0
+		}
+		m.SetBounds(lp.VarID(i), lo, v[i])
+	}
+	var totalV float64
+	for i := 0; i < n; i++ {
+		totalV += v[i]
+	}
+	m.SetRHS(sk.consumeRow, totalV-amount)
+	for i := 0; i < n; i++ {
+		if r := sk.perturbRow[i]; r >= 0 {
+			m.SetRHS(r, ws.caps[i])
+		}
+	}
+	if sk.dropRow >= 0 {
+		m.SetRHS(sk.dropRow, ws.caps[requester]-amount)
+	}
+
+	sol, err := m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocation LP failed: %w", err)
 	}
-	return al.allocationFrom(v, requester, amount, sol, vp, caps)
+	return al.allocationFrom(v, requester, amount, sol, ws)
 }
 
 // allocationFrom converts an LP solution over V' variables into an
-// Allocation, cleaning round-off and recomputing θ exactly.
-func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, sol *lp.Solution, vp []lp.VarID, caps []float64) (*Allocation, error) {
+// Allocation, cleaning round-off and recomputing θ exactly. In both LP
+// formulations V'_i is variable i, so values are read by index.
+func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, sol *lp.Solution, ws *planWS) (*Allocation, error) {
 	n := al.n
 	out := &Allocation{Take: make([]float64, n), NewV: make([]float64, n)}
 	for i := 0; i < n; i++ {
-		nv := sol.Value(vp[i])
+		nv := sol.Value(lp.VarID(i))
 		if nv < 0 {
 			nv = 0
 		}
@@ -284,15 +413,16 @@ func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, 
 		out.NewV[i] = nv
 		out.Take[i] = v[i] - nv
 	}
-	normalizeTakes(out, v, amount)
-	out.Theta = al.realizedTheta(v, out.NewV, requester, caps)
+	normalizeTakes(out, v, amount, ws.uCol)
+	out.Theta = al.realizedTheta(v, out.NewV, requester, ws.caps, ws.after)
 	return out, nil
 }
 
 // realizedTheta recomputes max_{i≠requester} (C_i − C'_i) from first
-// principles (including the exact min-caps the LP linearized).
-func (al *Allocator) realizedTheta(v, newV []float64, requester int, caps []float64) float64 {
-	after := transitive.Capacities(newV, al.k, al.a)
+// principles (including the exact min-caps the LP linearized), using
+// `after` as scratch for the post-allocation capacities.
+func (al *Allocator) realizedTheta(v, newV []float64, requester int, caps, after []float64) float64 {
+	al.capsInto(after, newV)
 	worst := 0.0
 	for i := range v {
 		if i == requester {
@@ -306,24 +436,51 @@ func (al *Allocator) realizedTheta(v, newV []float64, requester int, caps []floa
 }
 
 // normalizeTakes removes round-off so that ΣTake == amount exactly: tiny
-// negative takes are zeroed and the largest take absorbs the residual.
-func normalizeTakes(a *Allocation, v []float64, amount float64) {
+// negative takes are zeroed and the residual is absorbed by the largest
+// takes — never beyond a source's agreement cap maxTake[i] (U_{i→A}), so
+// round-off repair cannot manufacture an allocation the agreements forbid.
+// Any residual the capped sources cannot absorb (possible only when the
+// LP itself is at every cap) is left in place rather than violating a cap.
+func normalizeTakes(a *Allocation, v []float64, amount float64, maxTake []float64) {
 	var sum float64
-	maxIdx := 0
 	for i := range a.Take {
 		if a.Take[i] < 1e-12 {
 			a.Take[i] = 0
 			a.NewV[i] = v[i]
 		}
 		sum += a.Take[i]
-		if a.Take[i] > a.Take[maxIdx] {
-			maxIdx = i
-		}
 	}
 	resid := amount - sum
-	if !num.IsZero(resid) && a.Take[maxIdx]+resid >= 0 {
-		a.Take[maxIdx] += resid
-		a.NewV[maxIdx] = v[maxIdx] - a.Take[maxIdx]
+	for iter := 0; !num.IsZero(resid) && iter < len(a.Take); iter++ {
+		// Pick the source with the largest take that still has headroom
+		// in the needed direction.
+		best := -1
+		for i := range a.Take {
+			if resid > 0 {
+				if a.Take[i] >= maxTake[i] {
+					continue
+				}
+			} else if a.Take[i] <= 0 {
+				continue
+			}
+			if best == -1 || a.Take[i] > a.Take[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		delta := resid
+		if resid > 0 {
+			if room := maxTake[best] - a.Take[best]; delta > room {
+				delta = room
+			}
+		} else if -delta > a.Take[best] {
+			delta = -a.Take[best]
+		}
+		a.Take[best] += delta
+		a.NewV[best] = v[best] - a.Take[best]
+		resid -= delta
 	}
 }
 

@@ -81,6 +81,64 @@ func BenchmarkPlanFaithful30(b *testing.B) {
 	benchPlan(b, al, v)
 }
 
+// benchLoopScenario is the sparse shape: each principal shares only with
+// its two ring neighbors, so the flow matrix K and the LP are sparse and
+// the allocator's column index pays off.
+func benchLoopScenario(n int) (s [][]float64, v []float64) {
+	rng := rand.New(rand.NewSource(11))
+	s = make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		s[i][(i+1)%n] = 0.4
+		s[i][(i+n-1)%n] = 0.4
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = 50 + rng.Float64()*50
+	}
+	return
+}
+
+func BenchmarkPlanLoop10(b *testing.B) {
+	s, v := benchLoopScenario(10)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+func BenchmarkPlanLoop30(b *testing.B) {
+	s, v := benchLoopScenario(30)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+// BenchmarkPlanParallel10 measures Plan throughput when hammered from all
+// P goroutines at once: the skeleton cache and pooled workspaces should
+// scale instead of serializing on a shared model.
+func BenchmarkPlanParallel10(b *testing.B) {
+	s, v := benchScenario(10)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := al.Plan(v, 0, 40); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkPlanGreedy10(b *testing.B) {
 	s, v := benchScenario(10)
 	g, err := NewGreedy(s, nil, Config{})

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/transitive"
+)
+
+// TestPlanConcurrentDeterministic hammers one shared Allocator from many
+// goroutines and checks every result is bit-identical to a serial solve of
+// the same request: the skeleton cache, model clones, and pooled LP
+// workspaces must neither race (run under -race) nor leak state between
+// requests.
+func TestPlanConcurrentDeterministic(t *testing.T) {
+	s := [][]float64{
+		{0, 0.5, 0.2, 0},
+		{0.3, 0, 0.4, 0.1},
+		{0, 0.6, 0, 0.2},
+		{0.25, 0, 0.5, 0},
+	}
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type req struct {
+		v         []float64
+		requester int
+		amount    float64
+	}
+	rng := rand.New(rand.NewSource(42))
+	reqs := make([]req, 64)
+	want := make([]*Allocation, len(reqs))
+	for i := range reqs {
+		v := make([]float64, 4)
+		for j := range v {
+			v[j] = 1 + 9*rng.Float64()
+		}
+		r := rng.Intn(4)
+		caps := al.Capacities(v)
+		reqs[i] = req{v: v, requester: r, amount: caps[r] * (0.1 + 0.7*rng.Float64())}
+		want[i], err = al.Plan(v, r, reqs[i].amount)
+		if err != nil {
+			t.Fatalf("serial Plan %d: %v", i, err)
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				for i, rq := range reqs {
+					got, err := al.Plan(rq.v, rq.requester, rq.amount)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range got.Take {
+						if got.Take[j] != want[i].Take[j] || got.NewV[j] != want[i].NewV[j] {
+							t.Errorf("goroutine %d req %d: take[%d]=%v want %v",
+								g, i, j, got.Take[j], want[i].Take[j])
+							return
+						}
+					}
+					if got.Theta != want[i].Theta {
+						t.Errorf("goroutine %d req %d: theta=%v want %v", g, i, got.Theta, want[i].Theta)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCapsIntoMatchesDense pins the sparse-column-index capacity sum to
+// transitive.Capacities bit-for-bit, with and without absolute agreements.
+func TestCapsIntoMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(10)
+		s := make([][]float64, n)
+		var a [][]float64
+		if trial%2 == 1 {
+			a = make([][]float64, n)
+		}
+		for i := range s {
+			s[i] = make([]float64, n)
+			if a != nil {
+				a[i] = make([]float64, n)
+			}
+			for j := range s[i] {
+				if i == j {
+					continue
+				}
+				if rng.Float64() < 0.4 {
+					s[i][j] = rng.Float64()
+				}
+				if a != nil && rng.Float64() < 0.3 {
+					a[i][j] = rng.Float64() * 2
+				}
+			}
+		}
+		al, err := NewAllocator(s, a, Config{Level: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 10 * rng.Float64()
+		}
+		want := transitive.Capacities(v, al.k, al.a)
+		got := make([]float64, n)
+		al.capsInto(got, v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: capsInto[%d]=%v, dense=%v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNormalizeTakesRespectsCaps checks that round-off repair never pushes
+// a take beyond its per-source agreement cap: the residual spills over to
+// the next-largest sources with headroom instead.
+func TestNormalizeTakesRespectsCaps(t *testing.T) {
+	v := []float64{10, 10, 10}
+	a := &Allocation{
+		Take: []float64{4.0, 2.0, 1.0},
+		NewV: []float64{6.0, 8.0, 9.0},
+	}
+	maxTake := []float64{4.05, 2.2, 3.0}
+	// Sum is 7, amount is 7.5: the largest take (index 0) can only absorb
+	// 0.05 before hitting its cap; the rest must spill to index 1 (0.2)
+	// and then index 2 (0.25).
+	normalizeTakes(a, v, 7.5, maxTake)
+	var sum float64
+	for i := range a.Take {
+		sum += a.Take[i]
+		if a.Take[i] > maxTake[i]+1e-12 {
+			t.Fatalf("take[%d]=%v exceeds cap %v", i, a.Take[i], maxTake[i])
+		}
+		if a.NewV[i] != v[i]-a.Take[i] {
+			t.Fatalf("NewV[%d]=%v inconsistent with take %v", i, a.NewV[i], a.Take[i])
+		}
+	}
+	if d := sum - 7.5; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("takes sum to %v, want 7.5", sum)
+	}
+
+	// Negative residual: takes shrink but never below zero.
+	b := &Allocation{Take: []float64{3.0, 0.5}, NewV: []float64{7.0, 9.5}}
+	normalizeTakes(b, v[:2], 3.2, []float64{5, 5})
+	if b.Take[0]+b.Take[1] != 3.2 {
+		t.Fatalf("negative residual not repaired: takes %v", b.Take)
+	}
+
+	// Fully capped: the residual is left unabsorbed rather than violating
+	// a cap.
+	c := &Allocation{Take: []float64{2.0, 2.0}, NewV: []float64{8.0, 8.0}}
+	normalizeTakes(c, v[:2], 5.0, []float64{2.0, 2.0})
+	if c.Take[0] != 2.0 || c.Take[1] != 2.0 {
+		t.Fatalf("capped takes mutated: %v", c.Take)
+	}
+}

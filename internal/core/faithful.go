@@ -14,17 +14,18 @@ import (
 // the pivot cost; it exists for validation and the ablation bench.
 // Absolute agreements are not part of the paper's printed LP, so the
 // faithful mode rejects them.
-func (al *Allocator) planFaithful(v []float64, requester int, amount float64, caps []float64) (*Allocation, error) {
+func (al *Allocator) planFaithful(v []float64, requester int, amount float64, ws *planWS) (*Allocation, error) {
 	if al.a != nil {
 		return nil, fmt.Errorf("core: Faithful formulation covers the paper's basic model only (no absolute agreement matrix)")
 	}
 	n := al.n
+	caps := ws.caps
 	m := lp.NewModel(lp.Minimize)
 
 	const eps = 1e-6
 	vp := make([]lp.VarID, n)
 	for i := 0; i < n; i++ {
-		lo := v[i] - al.sourceCap(v, i, requester)
+		lo := v[i] - ws.uCol[i]
 		if lo < 0 {
 			lo = 0
 		}
@@ -92,9 +93,9 @@ func (al *Allocator) planFaithful(v []float64, requester int, amount float64, ca
 			[]lp.Term{{Var: cp[requester], Coeff: 1}}, lp.GE, caps[requester]-amount)
 	}
 
-	sol, err := m.SolveWith(al.cfg.LPMethod)
+	sol, err := m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
 	if err != nil {
 		return nil, fmt.Errorf("core: faithful allocation LP failed: %w", err)
 	}
-	return al.allocationFrom(v, requester, amount, sol, vp, caps)
+	return al.allocationFrom(v, requester, amount, sol, ws)
 }

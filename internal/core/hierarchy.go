@@ -124,7 +124,7 @@ func (h *Hierarchy) Plan(v []float64, requester int, amount float64) (*Allocatio
 		if err := h.refineGroup(v, out, g, requester, amount); err != nil {
 			return nil, err
 		}
-		out.Theta = h.full.realizedTheta(v, out.NewV, requester, h.full.Capacities(v))
+		out.Theta = h.full.realizedTheta(v, out.NewV, requester, h.full.Capacities(v), make([]float64, n))
 		return out, nil
 	}
 
@@ -154,7 +154,7 @@ func (h *Hierarchy) Plan(v []float64, requester int, amount float64) (*Allocatio
 			return nil, err
 		}
 	}
-	out.Theta = h.full.realizedTheta(v, out.NewV, requester, h.full.Capacities(v))
+	out.Theta = h.full.realizedTheta(v, out.NewV, requester, h.full.Capacities(v), make([]float64, n))
 	return out, nil
 }
 

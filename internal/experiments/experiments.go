@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -89,6 +90,27 @@ type Figure struct {
 	Summary []string
 }
 
+// runAll executes one figure's independent sweep configurations on a
+// bounded worker pool (sized by GOMAXPROCS). Results come back in input
+// order, so the figures' series and summaries are deterministic regardless
+// of completion order; on failure the error of the lowest-index
+// configuration is reported. Sharing a planner between configurations is
+// safe: core planners are concurrency-safe and each simulation run derives
+// its workload from its own seeded generator.
+func runAll(cfgs []sim.Config) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	par.Do(len(cfgs), par.Workers(len(cfgs)), func(i int) {
+		results[i], errs[i] = sim.Run(cfgs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // hours converts the slot index of a result series into hour-of-day
 // labels, accounting for the warmup offset.
 func hours(res *sim.Result, warmup float64) []float64 {
@@ -157,14 +179,19 @@ func Fig6(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, gap := range []float64{0, 1200, 2400, 3600} {
-		cfg := o.baseConfig(p, m)
-		cfg.Skew = sim.SkewVector(o.Proxies, gap)
-		cfg.Planner = planner
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	gaps := []float64{0, 1200, 2400, 3600}
+	cfgs := make([]sim.Config, len(gaps))
+	for i, gap := range gaps {
+		cfgs[i] = o.baseConfig(p, m)
+		cfgs[i].Skew = sim.SkewVector(o.Proxies, gap)
+		cfgs[i].Planner = planner
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		gap := gaps[i]
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("gap %.0f s", gap),
 			X:     hours(res, o.Warmup),
@@ -193,24 +220,26 @@ func Fig7(o Options) (*Figure, error) {
 		return nil, err
 	}
 	multipliers := []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5}
+	// Sweep points interleave sharing / no-sharing per multiplier:
+	// cfgs[2i] shares, cfgs[2i+1] stands alone.
+	cfgs := make([]sim.Config, 2*len(multipliers))
+	for i, mult := range multipliers {
+		cfgs[2*i] = o.baseConfig(p, m)
+		cfgs[2*i].Speed = []float64{mult}
+		cfgs[2*i].Planner = planner
+		cfgs[2*i+1] = o.baseConfig(p, m)
+		cfgs[2*i+1].Speed = []float64{mult}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var shareSeries, aloneSeries Series
 	shareSeries.Label = "with sharing"
 	aloneSeries.Label = "no sharing"
 	var sharedAtUnit float64
-	for _, mult := range multipliers {
-		cfgShare := o.baseConfig(p, m)
-		cfgShare.Speed = []float64{mult}
-		cfgShare.Planner = planner
-		resShare, err := sim.Run(cfgShare)
-		if err != nil {
-			return nil, err
-		}
-		cfgAlone := o.baseConfig(p, m)
-		cfgAlone.Speed = []float64{mult}
-		resAlone, err := sim.Run(cfgAlone)
-		if err != nil {
-			return nil, err
-		}
+	for i, mult := range multipliers {
+		resShare, resAlone := results[2*i], results[2*i+1]
 		shareSeries.X = append(shareSeries.X, mult)
 		shareSeries.Y = append(shareSeries.Y, resShare.Overall.Mean())
 		aloneSeries.X = append(aloneSeries.X, mult)
@@ -285,7 +314,8 @@ func loopOrCompleteLevels(o Options, id, title string, skip int, share float64) 
 		YLabel: "avg wait (s)",
 	}
 	levels := []int{1, 2, 3, o.Proxies - 1}
-	for _, lvl := range levels {
+	cfgs := make([]sim.Config, len(levels))
+	for i, lvl := range levels {
 		var planner core.Planner
 		var err error
 		if skip == 0 {
@@ -296,12 +326,15 @@ func loopOrCompleteLevels(o Options, id, title string, skip int, share float64) 
 		if err != nil {
 			return nil, err
 		}
-		cfg := o.baseConfig(p, m)
-		cfg.Planner = planner
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = o.baseConfig(p, m)
+		cfgs[i].Planner = planner
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		lvl := levels[i]
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("level %d", lvl),
 			X:     hours(res, o.Warmup),
@@ -329,14 +362,19 @@ func Fig12(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, cost := range []float64{0, m.A, 2 * m.A} {
-		cfg := o.baseConfig(p, m)
-		cfg.Planner = planner
-		cfg.RedirectCost = cost
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	costs := []float64{0, m.A, 2 * m.A}
+	cfgs := make([]sim.Config, len(costs))
+	for i, cost := range costs {
+		cfgs[i] = o.baseConfig(p, m)
+		cfgs[i].Planner = planner
+		cfgs[i].RedirectCost = cost
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		cost := costs[i]
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("cost %.2g s", cost),
 			X:     hours(res, o.Warmup),
@@ -368,20 +406,25 @@ func Fig13(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	var peak [2]float64
-	for i, pl := range []struct {
+	planners := []struct {
 		label   string
 		planner core.Planner
 	}{
 		{"linear programming", lpPlanner},
 		{"endpoint proportional", propPlanner},
-	} {
-		cfg := o.baseConfig(p, m)
-		cfg.Planner = pl.planner
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	cfgs := make([]sim.Config, len(planners))
+	for i, pl := range planners {
+		cfgs[i] = o.baseConfig(p, m)
+		cfgs[i].Planner = pl.planner
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var peak [2]float64
+	for i, res := range results {
+		pl := planners[i]
 		fig.Series = append(fig.Series, Series{
 			Label: pl.label,
 			X:     hours(res, o.Warmup),
@@ -430,21 +473,26 @@ func ExtOutage(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		label   string
 		planner core.Planner
 	}{
 		{"no sharing", nil},
 		{"direct only", direct},
 		{"full transitive", full},
-	} {
-		cfg := o.baseConfig(p, m)
-		cfg.Planner = tc.planner
-		cfg.Outages = outages
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	cfgs := make([]sim.Config, len(cases))
+	for i, tc := range cases {
+		cfgs[i] = o.baseConfig(p, m)
+		cfgs[i].Planner = tc.planner
+		cfgs[i].Outages = outages
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		tc := cases[i]
 		fig.Series = append(fig.Series, Series{
 			Label: tc.label,
 			X:     hours(res, o.Warmup),

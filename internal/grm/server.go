@@ -44,6 +44,16 @@ type Server struct {
 	nextLease int
 	conns     map[net.Conn]struct{} // live LRM connections, closed on Close
 
+	// epoch counts state changes that could invalidate an in-flight plan:
+	// availability edits, agreement edits, and lease commits. alloc
+	// snapshots it, solves the LP outside the lock, and re-solves when the
+	// epoch moved in the meantime (optimistic concurrency).
+	epoch         uint64
+	planConflicts uint64 // optimistic solves discarded due to an epoch move
+	// testHookUnlocked, when set, runs after alloc releases the lock for an
+	// optimistic solve; tests use it to mutate state and force a conflict.
+	testHookUnlocked func()
+
 	leaseTTL     time.Duration // 0 = leases never expire
 	reapEvery    time.Duration
 	idleTimeout  time.Duration // max quiet time on an LRM connection; 0 = none
@@ -230,6 +240,7 @@ func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
 	copy(s.avail, m.V)
 	copy(s.reported, m.V)
 	s.planner = nil
+	s.epoch++
 	s.logger.Printf("grm: loaded snapshot with %d principals", len(principals))
 	return nil
 }
@@ -313,6 +324,7 @@ func (s *Server) register(r *RegisterRequest) *Response {
 			if r.Capacity > s.reported[i] {
 				s.reported[i] = r.Capacity
 			}
+			s.epoch++
 			s.logger.Printf("grm: %q re-attached as principal %d (capacity %g)", r.Name, i, r.Capacity)
 			return &Response{Register: &RegisterReply{Principal: i}}
 		}
@@ -327,6 +339,7 @@ func (s *Server) register(r *RegisterRequest) *Response {
 	s.reported = append(s.reported, r.Capacity)
 	s.names = append(s.names, r.Name)
 	s.planner = nil // structure changed
+	s.epoch++
 	s.logger.Printf("grm: registered %q as principal %d (capacity %g)", r.Name, pid, r.Capacity)
 	return &Response{Register: &RegisterReply{Principal: int(pid)}}
 }
@@ -342,6 +355,7 @@ func (s *Server) report(r *ReportRequest) *Response {
 	if r.Available > s.reported[r.Principal] {
 		s.reported[r.Principal] = r.Available
 	}
+	s.epoch++
 	return &Response{Report: &ReportReply{}}
 }
 
@@ -373,6 +387,7 @@ func (s *Server) share(r *ShareRequest) *Response {
 	}
 	s.tickets = append(s.tickets, tid)
 	s.planner = nil
+	s.epoch++
 	s.logger.Printf("grm: agreement %d -> %d (fraction %g, quantity %g)", r.From, r.To, r.Fraction, r.Quantity)
 	return &Response{Share: &ShareReply{Ticket: len(s.tickets) - 1}}
 }
@@ -383,17 +398,30 @@ func (s *Server) revoke(r *RevokeRequest) *Response {
 	}
 	s.sys.Revoke(s.tickets[r.Ticket])
 	s.planner = nil
+	s.epoch++
 	return &Response{Revoke: &ReportReply{}}
 }
 
-// alloc plans and commits an allocation. When local capacity falls short
-// and a parent GRM is attached, the lock is RELEASED around the parent's
-// network round trip (holding it would stall every other LRM on a remote
-// call), then the plan is retried against the then-current availability
-// with the borrowed capacity credited to the requester. The parent's lease
-// token is recorded on the local lease so Release (or the reaper) repays
-// the borrow; if the retried plan fails, the borrow is repaid immediately
-// — a failed allocation must leave the federation's books untouched.
+// maxPlanConflicts bounds the optimistic re-solves in alloc before it
+// falls back to planning under the lock for guaranteed progress.
+const maxPlanConflicts = 8
+
+// alloc plans and commits an allocation. The LP solve runs OUTSIDE the
+// lock: alloc snapshots the planner, the availability vector, and the
+// state epoch, releases the lock, solves, then re-acquires and commits
+// only if the epoch is unchanged. If another request moved the epoch in
+// the meantime the stale plan is discarded and the solve repeated; after
+// maxPlanConflicts discards it plans while holding the lock, which cannot
+// conflict. This keeps slow solves (large agreement graphs) from stalling
+// every other LRM request behind the mutex.
+//
+// When local capacity falls short and a parent GRM is attached, the lock
+// is likewise released around the parent's network round trip, then the
+// plan is retried against the then-current availability with the borrowed
+// capacity credited to the requester. The parent's lease token is recorded
+// on the local lease so Release (or the reaper) repays the borrow; if the
+// retried plan fails, the borrow is repaid immediately — a failed
+// allocation must leave the federation's books untouched.
 func (s *Server) alloc(r *AllocRequest) *Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -406,6 +434,7 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 	var borrowed float64
 	var parentLease int
 	var borrowedFrom *parentLink
+	borrowTried := false
 	// repay undoes a pending federation borrow on a non-commit exit path.
 	// Called with s.mu held; drops it around the parent round trip.
 	repay := func() {
@@ -420,16 +449,32 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 		}
 		s.mu.Lock()
 	}
-	for attempt := 0; ; attempt++ {
+	conflicts := 0
+	for {
 		planner, err := s.currentPlanner()
 		if err != nil {
 			repay()
 			return errorf("grm: alloc: %v", err)
 		}
+		// Snapshot what the solve needs. planner is immutable and v a
+		// private copy, so the solve itself needs no lock.
 		v := append([]float64(nil), s.avail...)
 		v[r.Principal] += borrowed
+		epoch := s.epoch
+		locked := conflicts >= maxPlanConflicts
+		if !locked {
+			hook := s.testHookUnlocked
+			s.mu.Unlock()
+			if hook != nil {
+				hook()
+			}
+		}
 		plan, err := planner.Plan(v, r.Principal, r.Amount)
-		if errors.Is(err, core.ErrInsufficient) && s.parent != nil && attempt == 0 {
+		if !locked {
+			s.mu.Lock()
+		}
+		if errors.Is(err, core.ErrInsufficient) && s.parent != nil && !borrowTried {
+			borrowTried = true
 			caps := planner.Capacities(v)
 			deficit := r.Amount - caps[r.Principal]
 			parent := s.parent
@@ -447,6 +492,13 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 			repay()
 			return errorf("grm: alloc: %v", err)
 		}
+		if !locked && s.epoch != epoch {
+			// Availability or agreements moved while we solved: the plan
+			// may overdraw sources. Discard it and re-solve.
+			conflicts++
+			s.planConflicts++
+			continue
+		}
 		// Commit the GRM's availability view; LRMs overwrite it with
 		// their next reports, and Release returns the lease.
 		for i, take := range plan.Take {
@@ -455,6 +507,7 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 				s.avail[i] = 0
 			}
 		}
+		s.epoch++
 		token := s.nextLease
 		s.nextLease++
 		le := &lease{
@@ -468,6 +521,14 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 		s.leases[token] = le
 		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: token, TTL: s.leaseTTL}}
 	}
+}
+
+// PlanConflicts reports how many optimistic solves have been discarded
+// and retried because the server state changed mid-solve.
+func (s *Server) PlanConflicts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planConflicts
 }
 
 // release returns a lease's takes to the availability view, capped by
@@ -516,6 +577,7 @@ func (s *Server) creditLocked(takes []float64) {
 			s.avail[i] = s.reported[i]
 		}
 	}
+	s.epoch++
 }
 
 // reaper periodically returns expired leases to the pool (and repays their

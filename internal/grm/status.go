@@ -15,6 +15,10 @@ type Status struct {
 	// Agreements is the number of live (unrevoked) agreement tickets
 	// created over the wire.
 	Agreements int `json:"agreements"`
+	// PlanConflicts counts allocation solves that were discarded and
+	// retried because the server state changed while the LP ran outside
+	// the lock.
+	PlanConflicts uint64 `json:"plan_conflicts"`
 }
 
 // PrincipalStatus is one principal's row in the status view.
@@ -32,7 +36,7 @@ type PrincipalStatus struct {
 func (s *Server) Status() (*Status, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := &Status{Leases: len(s.leases)}
+	out := &Status{Leases: len(s.leases), PlanConflicts: s.planConflicts}
 	for _, tid := range s.tickets {
 		if !s.sys.Ticket(tid).Revoked {
 			out.Agreements++

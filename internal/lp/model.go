@@ -120,6 +120,41 @@ func (m *Model) SetObjective(v VarID, obj float64) {
 	m.vars[v].obj = obj
 }
 
+// SetBounds replaces the bounds of v, with the same validation as AddVar.
+// Together with SetRHS and Clone it supports the skeleton-rebinding
+// pattern: build the constraint structure once, then per solve only rebind
+// the numbers that actually change.
+func (m *Model) SetBounds(v VarID, lo, hi float64) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: SetBounds(%q): NaN bound", m.vars[v].name))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: SetBounds(%q): lower bound %g exceeds upper bound %g", m.vars[v].name, lo, hi))
+	}
+	m.vars[v].lo, m.vars[v].hi = lo, hi
+}
+
+// SetRHS replaces the right-hand side of constraint row i.
+func (m *Model) SetRHS(i int, rhs float64) {
+	if math.IsNaN(rhs) {
+		panic(fmt.Sprintf("lp: SetRHS(%q): NaN right-hand side", m.cons[i].name))
+	}
+	m.cons[i].rhs = rhs
+}
+
+// Clone returns a model that shares all structural data (names, constraint
+// term lists) with the receiver but owns its variable and constraint
+// headers, so bounds, objective coefficients and right-hand sides can be
+// rebound independently. Neither model may structurally mutate shared
+// term slices afterwards; AddVar/AddConstraint on the clone are safe (they
+// append to the clone's own headers).
+func (m *Model) Clone() *Model {
+	out := &Model{sense: m.sense}
+	out.vars = append(make([]variable, 0, len(m.vars)), m.vars...)
+	out.cons = append(make([]constraint, 0, len(m.cons)), m.cons...)
+	return out
+}
+
 // VarName returns the name a variable was registered with.
 func (m *Model) VarName(v VarID) string { return m.vars[v].name }
 

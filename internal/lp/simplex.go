@@ -22,6 +22,7 @@ const (
 type tableau struct {
 	sf     *standardForm
 	a      [][]float64 // m x n, mutated in place
+	aFlat  []float64   // backing array of a (kept for workspace reuse)
 	b      []float64   // m
 	obj    []float64   // n reduced costs
 	objRHS float64     // -(current objective value)
@@ -31,22 +32,27 @@ type tableau struct {
 }
 
 func newTableau(sf *standardForm) *tableau {
-	t := &tableau{
-		sf:     sf,
-		a:      make([][]float64, sf.m),
-		b:      make([]float64, sf.m),
-		obj:    make([]float64, sf.n),
-		basis:  make([]int, sf.m),
-		banned: make([]bool, sf.n),
-	}
-	for i := range sf.a {
-		row := make([]float64, sf.n)
-		copy(row, sf.a[i])
-		t.a[i] = row
-	}
-	copy(t.b, sf.b)
-	copy(t.basis, sf.basis)
+	t := &tableau{}
+	t.reset(sf)
 	return t
+}
+
+// reset (re)initializes the tableau for a standard form, reusing the
+// buffers of any previous solve that fit.
+func (t *tableau) reset(sf *standardForm) {
+	t.sf = sf
+	t.a, t.aFlat = growMatrix(t.a, t.aFlat, sf.m, sf.n)
+	for i := range sf.a {
+		copy(t.a[i], sf.a[i])
+	}
+	t.b = growFloats(t.b, sf.m)
+	copy(t.b, sf.b)
+	t.obj = growFloats(t.obj, sf.n)
+	t.basis = growInts(t.basis, sf.m)
+	copy(t.basis, sf.basis)
+	t.banned = growBools(t.banned, sf.n)
+	t.objRHS = 0
+	t.pivots = 0
 }
 
 // setObjective loads per-column costs into the reduced-cost row and prices
@@ -209,9 +215,9 @@ func (t *tableau) driveOutArtificials() {
 	}
 }
 
-// extract builds the standard-form solution vector from the basis.
-func (t *tableau) extract() []float64 {
-	x := make([]float64, t.sf.n)
+// extractInto writes the standard-form solution vector into x (length
+// sf.n, pre-zeroed).
+func (t *tableau) extractInto(x []float64) {
 	for r, bc := range t.basis {
 		v := t.b[r]
 		if v < 0 {
@@ -219,7 +225,6 @@ func (t *tableau) extract() []float64 {
 		}
 		x[bc] = v
 	}
-	return x
 }
 
 // Solve optimizes the model with the two-phase primal simplex method. On
@@ -228,18 +233,26 @@ func (t *tableau) extract() []float64 {
 // Solution together with a wrapped ErrInfeasible / ErrUnbounded /
 // ErrIterationLimit.
 func (m *Model) Solve() (*Solution, error) {
-	sf, err := buildStandard(m)
+	return m.solveTableau(&Workspace{})
+}
+
+// solveTableau is Solve with all solver scratch drawn from ws, so repeated
+// solves of same-shaped models allocate only the returned Solution.
+func (m *Model) solveTableau(ws *Workspace) (*Solution, error) {
+	sf, err := buildStandardInto(m, &ws.sf)
 	if err != nil {
 		return nil, err
 	}
-	t := newTableau(sf)
+	t := &ws.t
+	t.reset(sf)
 	maxPivots := 200 + 60*(sf.m+sf.n)
 
 	sol := &Solution{values: make([]float64, len(m.vars)), duals: make([]float64, len(m.cons))}
 
 	// Phase 1: minimize the sum of artificial variables.
 	if len(sf.artCols) > 0 {
-		phase1 := make([]float64, sf.n)
+		ws.phase1 = growFloats(ws.phase1, sf.n)
+		phase1 := ws.phase1
 		for _, j := range sf.artCols {
 			phase1[j] = 1
 		}
@@ -271,12 +284,12 @@ func (m *Model) Solve() (*Solution, error) {
 		return sol, fmt.Errorf("%w (phase 2 after %d pivots)", ErrIterationLimit, t.pivots)
 	}
 
-	x := t.extract()
-	point := sf.recoverPoint(x)
-	copy(sol.values, point)
+	ws.x = growFloats(ws.x, sf.n)
+	t.extractInto(ws.x)
+	sf.recoverPointInto(sol.values, ws.x)
 	// Compute the objective in model space rather than from the running
 	// tableau value, shedding accumulated round-off.
-	sol.Objective = m.Eval(point)
+	sol.Objective = m.Eval(sol.values)
 
 	// Duals: the reduced cost of each row's initial basic column encodes
 	// y_i because those columns formed the identity matrix.

@@ -25,6 +25,13 @@ type subst struct {
 	offset float64 // lo for substShift, hi for substMirror
 }
 
+// boundRow is an extra "u <= hi-lo" constraint row materializing the upper
+// bound of a doubly-bounded variable.
+type boundRow struct {
+	col int
+	ub  float64
+}
+
 // standardForm is the canonical problem: minimize cost·x subject to
 // A x = b, x >= 0, b >= 0, expressed as a dense tableau ready for the
 // simplex method.
@@ -46,32 +53,94 @@ type standardForm struct {
 	negate    bool      // objective was negated (Maximize)
 	rowOfCons []int     // tableau row for each model constraint (-1 if dropped)
 	rowSign   []float64 // +1, or -1 if the row was negated to make b >= 0
+
+	aFlat []float64 // backing array of a (kept for workspace reuse)
+
+	// scratch for buildStandard passes, retained across workspace reuses
+	boundRows []boundRow
+	rels      []Relation
+	adjs      []float64
+}
+
+// growFloats returns a zeroed float slice of length n, reusing buf's
+// backing array when it is large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInts returns an int slice of length n (contents unspecified),
+// reusing buf when possible.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growBools returns a zeroed bool slice of length n, reusing buf.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// growMatrix returns an m×n zeroed dense matrix as row headers over one
+// flat backing array, reusing the given buffers when large enough.
+func growMatrix(rows [][]float64, flat []float64, m, n int) ([][]float64, []float64) {
+	flat = growFloats(flat, m*n)
+	if cap(rows) < m {
+		rows = make([][]float64, m)
+	}
+	rows = rows[:m]
+	for i := 0; i < m; i++ {
+		rows[i] = flat[i*n : (i+1)*n]
+	}
+	return rows, flat
 }
 
 // buildStandard converts a Model into standard form. It returns an error
 // only for structurally empty models; bound inconsistencies are rejected
 // earlier by AddVar.
 func buildStandard(m *Model) (*standardForm, error) {
-	if len(m.vars) == 0 {
+	return buildStandardInto(m, &standardForm{})
+}
+
+// buildStandardInto is buildStandard writing into sf, reusing whatever
+// buffers a previous conversion left there. The numeric results are
+// identical to a fresh conversion: every coefficient is written (not
+// accumulated) exactly once, and right-hand-side adjustments follow the
+// same term order as before.
+func buildStandardInto(mo *Model, sf *standardForm) (*standardForm, error) {
+	if len(mo.vars) == 0 {
 		return nil, fmt.Errorf("lp: model has no variables")
 	}
 
-	sf := &standardForm{subs: make([]subst, len(m.vars))}
-
-	// 1. Substitute variables so every structural column is >= 0.
-	// boundRows collects extra "u <= hi-lo" rows for doubly-bounded vars.
-	type boundRow struct {
-		col int
-		ub  float64
+	// 1. Substitute variables so every structural column is >= 0;
+	// doubly-bounded variables get an extra "u <= hi-lo" row.
+	if cap(sf.subs) < len(mo.vars) {
+		sf.subs = make([]subst, len(mo.vars))
 	}
-	var boundRows []boundRow
+	sf.subs = sf.subs[:len(mo.vars)]
+	sf.boundRows = sf.boundRows[:0]
 	col := 0
-	for i, v := range m.vars {
+	for i, v := range mo.vars {
 		switch {
 		case !math.IsInf(v.lo, -1):
 			sf.subs[i] = subst{kind: substShift, col: col, offset: v.lo}
 			if !math.IsInf(v.hi, 1) {
-				boundRows = append(boundRows, boundRow{col: col, ub: v.hi - v.lo})
+				sf.boundRows = append(sf.boundRows, boundRow{col: col, ub: v.hi - v.lo})
 			}
 			col++
 		case !math.IsInf(v.hi, 1):
@@ -84,37 +153,32 @@ func buildStandard(m *Model) (*standardForm, error) {
 	}
 	sf.nStruct = col
 
-	// 2. Count slack/artificial needs per constraint row.
-	nRows := len(m.cons) + len(boundRows)
-	rows := make([][]float64, nRows)
-	rhs := make([]float64, nRows)
-	rels := make([]Relation, nRows)
-	sf.rowSign = make([]float64, nRows)
+	// 2. First pass over the rows: compute the substitution-adjusted
+	// right-hand side, the post-flip relation, and the row sign, which
+	// together determine the slack/artificial layout.
+	nRows := len(mo.cons) + len(sf.boundRows)
+	if cap(sf.rels) < nRows {
+		sf.rels = make([]Relation, nRows)
+	}
+	sf.rels = sf.rels[:nRows]
+	sf.adjs = growFloats(sf.adjs, nRows)
+	sf.rowSign = growFloats(sf.rowSign, nRows)
+	sf.rowOfCons = growInts(sf.rowOfCons, len(mo.cons))
 
-	fill := func(r int, terms []Term, rel Relation, rhsVal float64) {
-		row := make([]float64, sf.nStruct)
-		adj := rhsVal
-		for _, t := range terms {
+	for i, c := range mo.cons {
+		sf.rowOfCons[i] = i
+		adj := c.rhs
+		for _, t := range c.terms {
 			s := sf.subs[t.Var]
-			switch s.kind {
-			case substShift:
-				row[s.col] += t.Coeff
+			if s.kind == substShift || s.kind == substMirror {
 				adj -= t.Coeff * s.offset
-			case substMirror:
-				row[s.col] -= t.Coeff
-				adj -= t.Coeff * s.offset
-			case substSplit:
-				row[s.col] += t.Coeff
-				row[s.negCol] -= t.Coeff
 			}
 		}
+		rel := c.rel
 		sign := 1.0
 		if adj < 0 {
 			sign = -1
 			adj = -adj
-			for j := range row {
-				row[j] = -row[j]
-			}
 			switch rel {
 			case LE:
 				rel = GE
@@ -122,50 +186,60 @@ func buildStandard(m *Model) (*standardForm, error) {
 				rel = LE
 			}
 		}
-		rows[r] = row
-		rhs[r] = adj
-		rels[r] = rel
-		sf.rowSign[r] = sign
+		sf.adjs[i], sf.rels[i], sf.rowSign[i] = adj, rel, sign
 	}
-
-	sf.rowOfCons = make([]int, len(m.cons))
-	for i, c := range m.cons {
-		sf.rowOfCons[i] = i
-		fill(i, c.terms, c.rel, c.rhs)
-	}
-	for k, br := range boundRows {
-		r := len(m.cons) + k
-		fill(r, []Term{{Var: 0, Coeff: 0}}, LE, br.ub) // placeholder, fixed below
-		rows[r][br.col] = 1
+	for k, br := range sf.boundRows {
+		r := len(mo.cons) + k
 		// A bound row rhs is hi-lo >= 0 because AddVar enforces lo <= hi,
-		// so no sign flip occurred and the coefficient stands as written.
+		// so no sign flip can occur.
+		sf.adjs[r], sf.rels[r], sf.rowSign[r] = br.ub, LE, 1
 	}
 
-	// 3. Lay out slack and artificial columns.
-	nSlack := 0
-	for _, rel := range rels {
+	// 3. Lay out the full column space and fill the matrix.
+	nSlack, nArt := 0, 0
+	for _, rel := range sf.rels {
 		if rel == LE || rel == GE {
 			nSlack++
 		}
-	}
-	nArt := 0
-	for _, rel := range rels {
 		if rel != LE {
 			nArt++
 		}
 	}
 	sf.m = nRows
 	sf.n = sf.nStruct + nSlack + nArt
-	sf.a = make([][]float64, nRows)
-	sf.b = rhs
-	sf.cost = make([]float64, sf.n)
-	sf.isArt = make([]bool, sf.n)
-	sf.basis = make([]int, nRows)
+	sf.a, sf.aFlat = growMatrix(sf.a, sf.aFlat, sf.m, sf.n)
+	sf.b = growFloats(sf.b, nRows)
+	copy(sf.b, sf.adjs)
+	sf.cost = growFloats(sf.cost, sf.n)
+	sf.isArt = growBools(sf.isArt, sf.n)
+	sf.basis = growInts(sf.basis, nRows)
+	sf.artCols = sf.artCols[:0]
+
+	for i, c := range mo.cons {
+		row := sf.a[i]
+		sign := sf.rowSign[i]
+		for _, t := range c.terms {
+			s := sf.subs[t.Var]
+			switch s.kind {
+			case substShift:
+				row[s.col] = sign * t.Coeff
+			case substMirror:
+				row[s.col] = sign * -t.Coeff
+			case substSplit:
+				row[s.col] = sign * t.Coeff
+				row[s.negCol] = sign * -t.Coeff
+			}
+		}
+	}
+	for k, br := range sf.boundRows {
+		sf.a[len(mo.cons)+k][br.col] = 1
+	}
 
 	// Phase-2 costs for structural columns.
-	negate := m.sense == Maximize
+	negate := mo.sense == Maximize
 	sf.negate = negate
-	for i, v := range m.vars {
+	sf.objConst = 0
+	for i, v := range mo.vars {
 		c := v.obj
 		if negate {
 			c = -c
@@ -187,9 +261,8 @@ func buildStandard(m *Model) (*standardForm, error) {
 	slackAt := sf.nStruct
 	artAt := sf.nStruct + nSlack
 	for r := 0; r < nRows; r++ {
-		row := make([]float64, sf.n)
-		copy(row, rows[r])
-		switch rels[r] {
+		row := sf.a[r]
+		switch sf.rels[r] {
 		case LE:
 			row[slackAt] = 1
 			sf.basis[r] = slackAt
@@ -209,7 +282,6 @@ func buildStandard(m *Model) (*standardForm, error) {
 			sf.basis[r] = artAt
 			artAt++
 		}
-		sf.a[r] = row
 	}
 	return sf, nil
 }
@@ -218,6 +290,12 @@ func buildStandard(m *Model) (*standardForm, error) {
 // values.
 func (sf *standardForm) recoverPoint(x []float64) []float64 {
 	out := make([]float64, len(sf.subs))
+	sf.recoverPointInto(out, x)
+	return out
+}
+
+// recoverPointInto is recoverPoint writing into out (len(sf.subs)).
+func (sf *standardForm) recoverPointInto(out, x []float64) {
 	for i, s := range sf.subs {
 		switch s.kind {
 		case substShift:
@@ -228,5 +306,4 @@ func (sf *standardForm) recoverPoint(x []float64) []float64 {
 			out[i] = x[s.col] - x[s.negCol]
 		}
 	}
-	return out
 }

@@ -1,0 +1,27 @@
+package lp
+
+// Workspace holds the scratch state of a tableau solve — the standard-form
+// conversion, the tableau itself, and the phase-1 / extraction vectors — so
+// that repeated solves of same-shaped models reuse one set of buffers
+// instead of reallocating them per call. The zero value is ready to use.
+//
+// A Workspace may be reused across models of different shapes (buffers grow
+// as needed) but must not be used by two solves concurrently.
+type Workspace struct {
+	sf     standardForm
+	t      tableau
+	phase1 []float64
+	x      []float64
+}
+
+// SolveWithWorkspace is SolveWith drawing all solver scratch from ws. Only
+// the Tableau method currently has a workspace-reusing path; other methods
+// fall back to SolveWith and ignore ws. The numeric results are identical
+// to Solve/SolveWith: buffer reuse changes where intermediates live, never
+// the order of floating-point operations.
+func (m *Model) SolveWithWorkspace(method Method, ws *Workspace) (*Solution, error) {
+	if ws == nil || method != Tableau {
+		return m.SolveWith(method)
+	}
+	return m.solveTableau(ws)
+}

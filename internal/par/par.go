@@ -1,0 +1,63 @@
+// Package par is the minimal worker-pool primitive the enforcement hot
+// path is parallelized with: run n independent work items on a bounded
+// number of goroutines. Items are handed out through an atomic counter
+// (dynamic load balancing — transitive-closure rows have wildly uneven
+// cost), and callers get determinism by writing results into
+// pre-allocated, index-addressed slots rather than by relying on any
+// completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default pool size for n independent items: GOMAXPROCS
+// capped at n, at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n) using up to `workers` goroutines and
+// returns when all items are done. workers <= 1 (or n <= 1) runs inline on
+// the calling goroutine with no synchronization at all, so wrapping tiny
+// inputs costs nothing. fn must not panic across items it does not own:
+// items are distributed dynamically, one at a time.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,32 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 3, 17, 100} {
+			hits := make([]int32, n)
+			Do(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Fatalf("Workers(big) = %d", w)
+	}
+}

@@ -1,0 +1,168 @@
+package transitive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/num"
+)
+
+// exactRecursive is the original serial recursive enumeration, kept here
+// verbatim as the reference the parallel iterative implementation is
+// pinned against — the two must agree bit for bit, not just within
+// tolerance.
+func exactRecursive(s [][]float64, maxLen int) [][]float64 {
+	n := len(s)
+	maxLen = clampLevel(maxLen, n)
+	t := zeros(n)
+	visited := make([]bool, n)
+
+	var dfs func(src, cur int, depth int, product float64)
+	dfs = func(src, cur, depth int, product float64) {
+		if depth == maxLen {
+			return
+		}
+		for next := 0; next < n; next++ {
+			if visited[next] || num.IsZero(s[cur][next]) {
+				continue
+			}
+			p := product * s[cur][next]
+			t[src][next] += p
+			visited[next] = true
+			dfs(src, next, depth+1, p)
+			visited[next] = false
+		}
+	}
+	for src := 0; src < n; src++ {
+		visited[src] = true
+		dfs(src, src, 0, 1)
+		visited[src] = false
+	}
+	return t
+}
+
+// approxSerial is the original single-threaded matrix-power sum.
+func approxSerial(s [][]float64, maxLen int) [][]float64 {
+	n := len(s)
+	maxLen = clampLevel(maxLen, n)
+	sum := zeros(n)
+	power := zeros(n)
+	for i := range power {
+		copy(power[i], s[i])
+	}
+	add(sum, power)
+	next := zeros(n)
+	for k := 2; k <= maxLen; k++ {
+		matmulInto(next, power, s, 1)
+		power, next = next, power
+		add(sum, power)
+	}
+	return sum
+}
+
+// randomGraph builds an n-principal agreement matrix where each off-
+// diagonal edge exists with probability density and carries a random
+// fraction.
+func randomGraph(rng *rand.Rand, n int, density float64) [][]float64 {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j && rng.Float64() < density {
+				s[i][j] = rng.Float64()
+			}
+		}
+	}
+	return s
+}
+
+func requireBitIdentical(t *testing.T, got, want [][]float64, label string) {
+	t.Helper()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: [%d][%d] = %v, serial reference %v (not bit-identical)",
+					label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestExactParallelMatchesSerial pins the parallel iterative DFS to the
+// recursive reference on randomized graphs across sizes (crossing the
+// n=64 bitmask/bool-slice boundary), densities, levels and worker counts.
+func TestExactParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 9, 12, 66} {
+		for _, density := range []float64{0.15, 0.5, 1.0} {
+			s := randomGraph(rng, n, density)
+			// Full closure only at small n: simple-path enumeration is
+			// exponential in the chain length, and these graphs are dense.
+			levels := []int{1, 2, 3}
+			if n <= 9 {
+				levels = append(levels, n-1)
+			}
+			for _, level := range levels {
+				want := exactRecursive(s, level)
+				for _, workers := range []int{1, 2, 4, 8} {
+					got := exactWorkers(s, level, workers)
+					requireBitIdentical(t, got, want, "Exact")
+				}
+				requireBitIdentical(t, Exact(s, level), want, "Exact(default)")
+			}
+		}
+	}
+}
+
+// TestExactParallelPaperGraph is the acceptance case: the paper's
+// 10-principal complete graph at full transitive closure.
+func TestExactParallelPaperGraph(t *testing.T) {
+	n := 10
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j {
+				s[i][j] = 0.1
+			}
+		}
+	}
+	want := exactRecursive(s, n-1)
+	for _, workers := range []int{1, 2, 4} {
+		requireBitIdentical(t, exactWorkers(s, n-1, workers), want, "Exact(complete10)")
+	}
+}
+
+func TestApproxParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 3, 10, 40} {
+		s := randomGraph(rng, n, 0.4)
+		for _, level := range []int{1, 2, n - 1} {
+			want := approxSerial(s, level)
+			for _, workers := range []int{1, 2, 4, 8} {
+				got := approxWorkers(s, level, workers)
+				requireBitIdentical(t, got, want, "Approx")
+			}
+			requireBitIdentical(t, Approx(s, level), want, "Approx(default)")
+		}
+	}
+}
+
+func TestCapacitiesIntoMatchesCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomGraph(rng, 12, 0.5)
+	tm := Approx(s, 3)
+	a := randomGraph(rng, 12, 0.2)
+	v := make([]float64, 12)
+	for i := range v {
+		v[i] = rng.Float64() * 100
+	}
+	want := Capacities(v, tm, a)
+	got := make([]float64, 12)
+	CapacitiesInto(got, v, tm, a)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CapacitiesInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/num"
+	"repro/internal/par"
 )
 
 // Validate checks that S is a square agreement matrix with a zero
@@ -57,45 +58,210 @@ func Validate(s [][]float64) error {
 // n-1 is the full transitive closure. Values of maxLen < 1 or > n-1 are
 // clamped. Exact panics if Validate(s) fails; validate untrusted input
 // first.
+//
+// The enumeration runs one iterative DFS per source row; rows are
+// independent and are distributed over a pool of GOMAXPROCS workers. Each
+// row is computed in exactly the order the serial DFS would use, so the
+// result is bit-for-bit identical regardless of the worker count.
 func Exact(s [][]float64, maxLen int) [][]float64 {
+	return exactWorkers(s, maxLen, par.Workers(len(s)))
+}
+
+// exactWorkers is Exact with an explicit worker count (tests pin it to
+// compare serial and parallel runs on any machine).
+func exactWorkers(s [][]float64, maxLen, workers int) [][]float64 {
 	if err := Validate(s); err != nil {
 		panic(err)
 	}
 	n := len(s)
 	maxLen = clampLevel(maxLen, n)
 	t := zeros(n)
-	visited := make([]bool, n)
+	adj, edges := adjacency(s)
+	// On dense graphs a straight 0..n-1 scan with a zero test beats the
+	// adjacency indirection; on sparse graphs the edge lists skip the
+	// zeros entirely. Either scan visits the same non-zero edges in the
+	// same ascending order, so the choice never changes the result.
+	dense := 2*edges >= n*n
+	par.Do(n, workers, func(src int) {
+		exactRow(s, adj, src, maxLen, t[src], dense)
+	})
+	return t
+}
 
-	var dfs func(src, cur int, depth int, product float64)
-	dfs = func(src, cur, depth int, product float64) {
-		if depth == maxLen {
+// adjacency returns, per node, the ascending list of non-zero out-edges,
+// plus the total edge count. The DFS iterates lists in index order,
+// matching the dense j-loop order of the definition (zero entries
+// contribute nothing).
+func adjacency(s [][]float64) (adj [][]int32, edges int) {
+	adj = make([][]int32, len(s))
+	for i, row := range s {
+		var out []int32
+		for j, v := range row {
+			if !num.IsZero(v) {
+				out = append(out, int32(j))
+			}
+		}
+		adj[i] = out
+		edges += len(out)
+	}
+	return adj, edges
+}
+
+// exactRow enumerates every cycle-free chain out of src, accumulating the
+// chain products into row (row[j] += product for a chain ending at j).
+// The recursion of the definition is unrolled onto an explicit stack with
+// the hot frame held in locals; the visited set is a uint64 bitmask for
+// n <= 64 (which also bounds the stack, so it lives entirely on the
+// goroutine stack) and a bool slice above that. Visit order — and
+// therefore floating-point summation order — is identical to the
+// recursive formulation's.
+func exactRow(s [][]float64, adj [][]int32, src, maxLen int, row []float64, dense bool) {
+	switch {
+	case len(s) > 64:
+		exactRowBig(s, adj, src, maxLen, row)
+	case dense:
+		exactRowDense64(s, src, maxLen, row)
+	default:
+		exactRowSparse64(s, adj, src, maxLen, row)
+	}
+}
+
+// exactRowDense64 is the n <= 64 bitmask variant scanning full matrix
+// rows. depth counts edges already on the chain; the saved stacks hold
+// the suspended ancestor frames.
+func exactRowDense64(s [][]float64, src, maxLen int, row []float64) {
+	n := int32(len(s))
+	var (
+		nodeStk [64]int32
+		idxStk  [64]int32
+		prodStk [64]float64
+	)
+	node, idx, product, depth := int32(src), int32(0), 1.0, 0
+	visited := uint64(1) << src
+	srow := s[node]
+outer:
+	for {
+		if depth < maxLen {
+			for idx < n {
+				next := idx
+				idx++
+				if visited&(1<<next) != 0 || num.IsZero(srow[next]) {
+					continue
+				}
+				p := product * srow[next]
+				row[next] += p
+				visited |= 1 << next
+				nodeStk[depth], idxStk[depth], prodStk[depth] = node, idx, product
+				depth++
+				node, idx, product = next, 0, p
+				srow = s[node]
+				continue outer
+			}
+		}
+		if depth == 0 {
 			return
 		}
-		for next := 0; next < n; next++ {
-			if visited[next] || num.IsZero(s[cur][next]) {
-				continue
+		visited &^= 1 << node
+		depth--
+		node, idx, product = nodeStk[depth], idxStk[depth], prodStk[depth]
+		srow = s[node]
+	}
+}
+
+// exactRowSparse64 is the n <= 64 bitmask variant walking adjacency
+// lists, skipping zero edges entirely.
+func exactRowSparse64(s [][]float64, adj [][]int32, src, maxLen int, row []float64) {
+	var (
+		nodeStk [64]int32
+		idxStk  [64]int32
+		prodStk [64]float64
+	)
+	node, idx, product, depth := int32(src), int32(0), 1.0, 0
+	visited := uint64(1) << src
+	edges := adj[node]
+	srow := s[node]
+outer:
+	for {
+		if depth < maxLen {
+			for int(idx) < len(edges) {
+				next := edges[idx]
+				idx++
+				if visited&(1<<next) != 0 {
+					continue
+				}
+				p := product * srow[next]
+				row[next] += p
+				visited |= 1 << next
+				nodeStk[depth], idxStk[depth], prodStk[depth] = node, idx, product
+				depth++
+				node, idx, product = next, 0, p
+				edges, srow = adj[node], s[node]
+				continue outer
 			}
-			p := product * s[cur][next]
-			t[src][next] += p
-			visited[next] = true
-			dfs(src, next, depth+1, p)
-			visited[next] = false
 		}
+		if depth == 0 {
+			return
+		}
+		visited &^= 1 << node
+		depth--
+		node, idx, product = nodeStk[depth], idxStk[depth], prodStk[depth]
+		edges, srow = adj[node], s[node]
 	}
-	for src := 0; src < n; src++ {
-		visited[src] = true
-		dfs(src, src, 0, 1)
-		visited[src] = false
+}
+
+// exactRowBig is the bool-slice fallback for n > 64 (adjacency walk; a
+// dense graph that large is out of Exact's reach anyway).
+func exactRowBig(s [][]float64, adj [][]int32, src, maxLen int, row []float64) {
+	n := len(s)
+	nodeStk := make([]int32, maxLen+1)
+	idxStk := make([]int32, maxLen+1)
+	prodStk := make([]float64, maxLen+1)
+	visited := make([]bool, n)
+	node, idx, product, depth := int32(src), int32(0), 1.0, 0
+	visited[src] = true
+	edges := adj[node]
+	srow := s[node]
+outer:
+	for {
+		if depth < maxLen {
+			for int(idx) < len(edges) {
+				next := edges[idx]
+				idx++
+				if visited[next] {
+					continue
+				}
+				p := product * srow[next]
+				row[next] += p
+				visited[next] = true
+				nodeStk[depth], idxStk[depth], prodStk[depth] = node, idx, product
+				depth++
+				node, idx, product = next, 0, p
+				edges, srow = adj[node], s[node]
+				continue outer
+			}
+		}
+		if depth == 0 {
+			return
+		}
+		visited[node] = false
+		depth--
+		node, idx, product = nodeStk[depth], idxStk[depth], prodStk[depth]
+		edges, srow = adj[node], s[node]
 	}
-	return t
 }
 
 // Approx computes Σ_{k=1..maxLen} S^k — the matrix-power approximation of
 // T^(maxLen). It counts walks rather than simple paths, so on cyclic
 // graphs it overcounts (it is an upper bound on Exact); on DAGs the two
-// are identical. Cost is O(maxLen · n³). Approx panics if Validate(s)
-// fails.
+// are identical. Cost is O(maxLen · n³), with each multiply parallelized
+// over row blocks (rows are independent, so the result is bit-for-bit
+// identical to a serial multiply). Approx panics if Validate(s) fails.
 func Approx(s [][]float64, maxLen int) [][]float64 {
+	return approxWorkers(s, maxLen, par.Workers(len(s)))
+}
+
+// approxWorkers is Approx with an explicit worker count (pinned by tests).
+func approxWorkers(s [][]float64, maxLen, workers int) [][]float64 {
 	if err := Validate(s); err != nil {
 		panic(err)
 	}
@@ -107,8 +273,10 @@ func Approx(s [][]float64, maxLen int) [][]float64 {
 		copy(power[i], s[i])
 	}
 	add(sum, power)
+	next := zeros(n) // double buffer: matmul reads power, writes next
 	for k := 2; k <= maxLen; k++ {
-		power = matmul(power, s)
+		matmulInto(next, power, s, workers)
+		power, next = next, power
 		add(sum, power)
 	}
 	return sum
@@ -162,34 +330,52 @@ func SourceCaps(v []float64, t, a [][]float64) [][]float64 {
 			if k == i {
 				continue
 			}
-			u := v[k] * t[k][i]
-			if a != nil {
-				u += a[k][i]
-			}
-			if u > v[k] {
-				u = v[k]
-			}
-			out[k][i] = u
+			out[k][i] = sourceCap(v, t, a, k, i)
 		}
 	}
 	return out
 }
 
+// sourceCap returns U_ki = min(V_k·T_ki + A_ki, V_k) for k != i.
+func sourceCap(v []float64, t, a [][]float64, k, i int) float64 {
+	u := v[k] * t[k][i]
+	if a != nil {
+		u += a[k][i]
+	}
+	if u > v[k] {
+		u = v[k]
+	}
+	return u
+}
+
 // Capacities returns C_i = V_i + Σ_{k≠i} U_ki: the total resource amount
 // available to each principal, directly and transitively. A may be nil.
 func Capacities(v []float64, t, a [][]float64) []float64 {
-	u := SourceCaps(v, t, a)
 	out := make([]float64, len(v))
-	for i := range v {
+	CapacitiesInto(out, v, t, a)
+	return out
+}
+
+// CapacitiesInto computes Capacities into dst (len(v) entries) without
+// allocating: the U entries are accumulated on the fly instead of being
+// materialized as a matrix. The summation order matches Capacities', so
+// the results are bit-for-bit identical. It is the enforcement hot path's
+// entry point — Plan recomputes capacities twice per request (before and
+// after the candidate allocation).
+func CapacitiesInto(dst, v []float64, t, a [][]float64) {
+	n := len(v)
+	if len(t) != n || (a != nil && len(a) != n) || len(dst) != n {
+		panic(fmt.Sprintf("transitive: CapacitiesInto: inconsistent sizes dst=%d V=%d T=%d A=%d", len(dst), n, len(t), len(a)))
+	}
+	for i := 0; i < n; i++ {
 		c := v[i]
-		for k := range v {
+		for k := 0; k < n; k++ {
 			if k != i {
-				c += u[k][i]
+				c += sourceCap(v, t, a, k, i)
 			}
 		}
-		out[i] = c
+		dst[i] = c
 	}
-	return out
 }
 
 // WithinBudget reports whether exact enumeration of cycle-free chains up
@@ -269,20 +455,25 @@ func add(dst, src [][]float64) {
 	}
 }
 
-func matmul(a, b [][]float64) [][]float64 {
+// matmulInto computes out = a·b, distributing rows over the worker pool.
+// Each out row depends only on one a row, so the parallel result is
+// identical to a serial multiply. out must not alias a or b.
+func matmulInto(out, a, b [][]float64, workers int) {
 	n := len(a)
-	out := zeros(n)
-	for i := 0; i < n; i++ {
+	par.Do(n, workers, func(i int) {
+		row := out[i]
+		for j := range row {
+			row[j] = 0
+		}
 		for k := 0; k < n; k++ {
 			aik := a[i][k]
 			if num.IsZero(aik) {
 				continue
 			}
-			row := b[k]
+			bk := b[k]
 			for j := 0; j < n; j++ {
-				out[i][j] += aik * row[j]
+				row[j] += aik * bk[j]
 			}
 		}
-	}
-	return out
+	})
 }
