@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check bench bench-json fuzz clean
+.PHONY: build test race lint check modeltest bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,18 @@ test:
 # Race-enabled run of the concurrency-critical packages plus a plain run
 # of everything else (LP benches are pure-CPU and slow under -race).
 race:
-	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/... ./internal/sim/...
+	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/... ./internal/sim/... ./internal/metrics/... ./internal/modeltest/... ./internal/vclock/...
+
+# Model-based testing campaign (DESIGN.md §8): random agreement graphs
+# checked against brute-force oracles, deterministic GRM cluster
+# schedules, and the mutation smoke test proving the properties have
+# teeth. Fixed seed, budgeted well under a minute — the CI modeltest job
+# runs exactly this; MODELTEST_ITERS scales the sweep for longer runs.
+MODELTEST_SEED ?= 1
+MODELTEST_ITERS ?= 1000
+modeltest:
+	$(GO) run ./cmd/sharingcheck -seed $(MODELTEST_SEED) -iters $(MODELTEST_ITERS) \
+		-cluster-runs 3 -cluster-steps 200 -mutations -out modeltest-failure.json
 
 # Static analysis: the sharingvet analyzers (float equality, I/O under
 # locks, missing conn deadlines, unwrapped errors) and the agreement

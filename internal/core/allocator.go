@@ -16,6 +16,12 @@ import (
 // smaller than the requested amount.
 var ErrInsufficient = errors.New("core: insufficient capacity for request")
 
+// ErrInfeasible is wrapped by Plan when the LP solution cannot be repaired
+// into an exact allocation: round-off cleanup left a residual with every
+// contributing source already at its agreement cap, so delivering the
+// requested amount would violate an agreement.
+var ErrInfeasible = errors.New("core: allocation infeasible within agreement caps")
+
 // Planner is the common interface of the LP allocator and the baseline
 // schemes: decide where to take `amount` units for `requester` given the
 // current per-principal capacities v.
@@ -413,7 +419,14 @@ func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, 
 		out.NewV[i] = nv
 		out.Take[i] = v[i] - nv
 	}
-	normalizeTakes(out, v, amount, ws.uCol)
+	if resid := normalizeTakes(out, v, amount, ws.uCol); math.Abs(resid) > 1e-9*math.Max(1, amount) {
+		// Every source with a take is pinned at its agreement cap and the
+		// solution still misses the request: the plan cannot be repaired
+		// within the agreements. Surface it instead of returning an
+		// allocation that silently under- or over-delivers.
+		return nil, fmt.Errorf("core: repaired allocation off by %g of %g requested with every source at its cap: %w",
+			resid, amount, ErrInfeasible)
+	}
 	out.Theta = al.realizedTheta(v, out.NewV, requester, ws.caps, ws.after)
 	return out, nil
 }
@@ -439,9 +452,10 @@ func (al *Allocator) realizedTheta(v, newV []float64, requester int, caps, after
 // negative takes are zeroed and the residual is absorbed by the largest
 // takes — never beyond a source's agreement cap maxTake[i] (U_{i→A}), so
 // round-off repair cannot manufacture an allocation the agreements forbid.
-// Any residual the capped sources cannot absorb (possible only when the
-// LP itself is at every cap) is left in place rather than violating a cap.
-func normalizeTakes(a *Allocation, v []float64, amount float64, maxTake []float64) {
+// It returns the residual the capped sources could not absorb (possible
+// only when every source with a take is at its cap); callers must treat a
+// non-negligible residual as an infeasible plan, not ship a short one.
+func normalizeTakes(a *Allocation, v []float64, amount float64, maxTake []float64) float64 {
 	var sum float64
 	for i := range a.Take {
 		if a.Take[i] < 1e-12 {
@@ -482,6 +496,7 @@ func normalizeTakes(a *Allocation, v []float64, amount float64, maxTake []float6
 		a.NewV[best] = v[best] - a.Take[best]
 		resid -= delta
 	}
+	return resid
 }
 
 func (al *Allocator) checkV(v []float64) {

@@ -143,7 +143,9 @@ func TestNormalizeTakesRespectsCaps(t *testing.T) {
 	// Sum is 7, amount is 7.5: the largest take (index 0) can only absorb
 	// 0.05 before hitting its cap; the rest must spill to index 1 (0.2)
 	// and then index 2 (0.25).
-	normalizeTakes(a, v, 7.5, maxTake)
+	if resid := normalizeTakes(a, v, 7.5, maxTake); resid != 0 {
+		t.Fatalf("repairable case reported residual %v", resid)
+	}
 	var sum float64
 	for i := range a.Take {
 		sum += a.Take[i]
@@ -160,16 +162,35 @@ func TestNormalizeTakesRespectsCaps(t *testing.T) {
 
 	// Negative residual: takes shrink but never below zero.
 	b := &Allocation{Take: []float64{3.0, 0.5}, NewV: []float64{7.0, 9.5}}
-	normalizeTakes(b, v[:2], 3.2, []float64{5, 5})
+	if resid := normalizeTakes(b, v[:2], 3.2, []float64{5, 5}); resid != 0 {
+		t.Fatalf("negative residual not repaired: %v left, takes %v", resid, b.Take)
+	}
 	if b.Take[0]+b.Take[1] != 3.2 {
 		t.Fatalf("negative residual not repaired: takes %v", b.Take)
 	}
+}
 
-	// Fully capped: the residual is left unabsorbed rather than violating
-	// a cap.
+// TestNormalizeTakesAllAtCapReportsResidual is the regression test for the
+// all-sources-at-cap edge case: when every take is pinned at its agreement
+// cap and the sum still misses the amount, the repair used to terminate
+// silently, leaving an allocation that under-delivers without any signal.
+// normalizeTakes must report the unabsorbed residual (and allocationFrom
+// turns a non-negligible one into ErrInfeasible). The state is only
+// reachable end-to-end through LP degeneracies — Plan's up-front capacity
+// guard rejects plainly oversized requests — hence this white-box test.
+func TestNormalizeTakesAllAtCapReportsResidual(t *testing.T) {
+	v := []float64{10, 10}
 	c := &Allocation{Take: []float64{2.0, 2.0}, NewV: []float64{8.0, 8.0}}
-	normalizeTakes(c, v[:2], 5.0, []float64{2.0, 2.0})
+	resid := normalizeTakes(c, v, 5.0, []float64{2.0, 2.0})
 	if c.Take[0] != 2.0 || c.Take[1] != 2.0 {
 		t.Fatalf("capped takes mutated: %v", c.Take)
+	}
+	if resid != 1.0 {
+		t.Fatalf("unabsorbed residual = %v, want 1.0", resid)
+	}
+	// A repairable case reports zero even when one source caps out.
+	d := &Allocation{Take: []float64{2.0, 1.0}, NewV: []float64{8.0, 9.0}}
+	if resid := normalizeTakes(d, v, 4.0, []float64{2.0, 5.0}); resid != 0 {
+		t.Fatalf("repairable case reported residual %v", resid)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grm/faultnet"
+	"repro/internal/vclock"
 )
 
 // startServerWith launches a GRM after applying setup (lease TTLs,
@@ -249,8 +250,14 @@ func TestOperationsAfterCloseFail(t *testing.T) {
 }
 
 func TestLeaseTTLReaperReturnsTakes(t *testing.T) {
+	// A virtual clock drives the whole lease lifecycle: expiry happens
+	// exactly when the test advances past the TTL, never because the test
+	// machine paused — these tests used to poll wall time and flake under
+	// load.
+	vc := vclock.NewVirtual(time.Unix(0, 0))
 	srv, addr := startServerWith(t, core.Config{}, func(s *Server) {
-		s.SetLeaseTTL(60 * time.Millisecond)
+		s.SetClock(vc)
+		s.SetLeaseTTL(time.Minute)
 	})
 	a, err := Dial(addr, "A", 100)
 	if err != nil {
@@ -261,8 +268,8 @@ func TestLeaseTTLReaperReturnsTakes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reply.TTL != 60*time.Millisecond {
-		t.Errorf("lease TTL in reply = %v, want 60ms", reply.TTL)
+	if reply.TTL != time.Minute {
+		t.Errorf("lease TTL in reply = %v, want 1m", reply.TTL)
 	}
 	avail, _, err := a.Capacities()
 	if err != nil {
@@ -272,20 +279,20 @@ func TestLeaseTTLReaperReturnsTakes(t *testing.T) {
 		t.Fatalf("availability during lease = %g, want 60", avail[a.Principal()])
 	}
 
-	// Never released: the reaper must reclaim it.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		st, err := srv.Status()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if st.Leases == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("lease was never reaped")
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Just short of the TTL the lease must survive a reap pass.
+	vc.Advance(59 * time.Second)
+	if n := srv.Reap(); n != 0 {
+		t.Fatalf("reaped %d leases before expiry", n)
+	}
+	// Never released: crossing the TTL must reclaim it.
+	vc.Advance(2 * time.Second)
+	srv.Reap()
+	st, err := srv.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leases != 0 {
+		t.Fatalf("lease count after expiry = %d, want 0", st.Leases)
 	}
 	avail, _, err = a.Capacities()
 	if err != nil {
@@ -300,8 +307,10 @@ func TestLeaseTTLReaperReturnsTakes(t *testing.T) {
 }
 
 func TestLeaseRenewKeepsLeaseAlive(t *testing.T) {
+	vc := vclock.NewVirtual(time.Unix(0, 0))
 	srv, addr := startServerWith(t, core.Config{}, func(s *Server) {
-		s.SetLeaseTTL(150 * time.Millisecond)
+		s.SetClock(vc)
+		s.SetLeaseTTL(time.Minute)
 	})
 	a, err := Dial(addr, "A", 100)
 	if err != nil {
@@ -312,15 +321,17 @@ func TestLeaseRenewKeepsLeaseAlive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Renew well past the original TTL: the lease must survive.
+	// Renew at half-TTL intervals, far past the original expiry: the
+	// lease must survive four full TTLs' worth of virtual time.
 	for i := 0; i < 8; i++ {
-		time.Sleep(50 * time.Millisecond)
+		vc.Advance(30 * time.Second)
+		srv.Reap()
 		ttl, err := a.Renew(reply.Lease)
 		if err != nil {
 			t.Fatalf("renew %d: %v", i, err)
 		}
-		if ttl != 150*time.Millisecond {
-			t.Fatalf("renew TTL = %v, want 150ms", ttl)
+		if ttl != time.Minute {
+			t.Fatalf("renew TTL = %v, want 1m", ttl)
 		}
 	}
 	st, err := srv.Status()
@@ -330,20 +341,15 @@ func TestLeaseRenewKeepsLeaseAlive(t *testing.T) {
 	if st.Leases != 1 {
 		t.Fatalf("lease count after renewals = %d, want 1", st.Leases)
 	}
-	// Stop renewing: the reaper takes it.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		st, err := srv.Status()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if st.Leases == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("lease survived after renewals stopped")
-		}
-		time.Sleep(20 * time.Millisecond)
+	// Stop renewing: crossing the TTL takes it.
+	vc.Advance(2 * time.Minute)
+	srv.Reap()
+	st, err = srv.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leases != 0 {
+		t.Fatal("lease survived after renewals stopped")
 	}
 	if _, err := a.Renew(999); err == nil {
 		t.Error("renewing an unknown lease succeeded")

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/vclock"
 )
 
 // lease is one outstanding allocation: the per-principal takes to return
@@ -54,6 +55,12 @@ type Server struct {
 	// optimistic solve; tests use it to mutate state and force a conflict.
 	testHookUnlocked func()
 
+	// clock drives the lease lifecycle (expiry stamps, the reaper's
+	// ticker). Real time by default; the model-based testing harness and
+	// the lease tests inject a vclock.Virtual for determinism. Connection
+	// deadlines stay on real time — they are compared by the kernel.
+	clock vclock.Clock
+
 	leaseTTL     time.Duration // 0 = leases never expire
 	reapEvery    time.Duration
 	idleTimeout  time.Duration // max quiet time on an LRM connection; 0 = none
@@ -85,7 +92,19 @@ func NewServer(cfg core.Config, logger *log.Logger) *Server {
 		nextLease:    1,
 		conns:        map[net.Conn]struct{}{},
 		writeTimeout: 30 * time.Second,
+		clock:        vclock.Real{},
 	}
+}
+
+// SetClock replaces the clock driving lease expiry and the reaper.
+// Injecting a vclock.Virtual makes the whole lease lifecycle
+// deterministic: leases expire exactly when the test advances the clock
+// past their TTL, never because a wall-clock sleep ran long. Call before
+// Serve.
+func (s *Server) SetClock(c vclock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = c
 }
 
 // SetLeaseTTL makes every lease granted from now on expire after ttl
@@ -516,7 +535,7 @@ func (s *Server) alloc(r *AllocRequest) *Response {
 			parentLease: parentLease,
 		}
 		if s.leaseTTL > 0 {
-			le.expires = time.Now().Add(s.leaseTTL)
+			le.expires = s.clock.Now().Add(s.leaseTTL)
 		}
 		s.leases[token] = le
 		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: token, TTL: s.leaseTTL}}
@@ -560,7 +579,7 @@ func (s *Server) renew(r *RenewRequest) *Response {
 		return errorf("grm: renew: unknown lease %d", r.Lease)
 	}
 	if s.leaseTTL > 0 {
-		le.expires = time.Now().Add(s.leaseTTL)
+		le.expires = s.clock.Now().Add(s.leaseTTL)
 	}
 	return &Response{Renew: &RenewReply{TTL: s.leaseTTL}}
 }
@@ -586,30 +605,42 @@ func (s *Server) reaper() {
 	defer s.wg.Done()
 	s.mu.Lock()
 	every := s.reapEvery
+	clock := s.clock
 	s.mu.Unlock()
-	t := time.NewTicker(every)
+	t := clock.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.closed:
 			return
-		case now := <-t.C:
+		case now := <-t.C():
 			s.reapExpired(now)
 		}
 	}
 }
 
+// Reap synchronously returns every lease expired at the current clock
+// reading, exactly as the background reaper would. The deterministic
+// cluster runner calls it after advancing a virtual clock so expiry
+// happens at a known point in its schedule instead of whenever the reaper
+// goroutine wakes. It reports how many leases were reclaimed.
+func (s *Server) Reap() int {
+	return s.reapExpired(s.clock.Now())
+}
+
 // reapExpired collects every lease past its expiry, credits its takes
 // back, and repays parent leases outside the lock.
-func (s *Server) reapExpired(now time.Time) {
+func (s *Server) reapExpired(now time.Time) int {
 	s.mu.Lock()
 	var repay []*lease
+	reaped := 0
 	for token, le := range s.leases {
 		if le.expires.IsZero() || now.Before(le.expires) {
 			continue
 		}
 		delete(s.leases, token)
 		s.creditLocked(le.takes)
+		reaped++
 		if le.parentLease != 0 && le.parentLink != nil {
 			repay = append(repay, le)
 		}
@@ -621,6 +652,7 @@ func (s *Server) reapExpired(now time.Time) {
 			s.logger.Printf("grm: reaper: repaying parent lease %d: %v", le.parentLease, err)
 		}
 	}
+	return reaped
 }
 
 func (s *Server) caps() *Response {

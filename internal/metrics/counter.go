@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a lock-free event counter safe for concurrent use: the GRM's
+// request paths bump counters from many connection handlers at once, so
+// unlike the single-goroutine accumulators in this package it must not
+// require external serialization. The zero value is ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (negative deltas subtract).
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset zeroes the counter and returns the value it held — one atomic
+// swap, so concurrent increments are never lost between read and clear.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Gauge is a concurrent float64 value with last-write-wins semantics —
+// for levels rather than events (current availability, queue depth). The
+// zero value reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,128 @@
+// Package modeltest is a deterministic model-based testing harness for
+// the enforcement stack. It generates random agreement graphs across the
+// paper's taxonomy (complete, sparse, ring/loop, hierarchical; relative
+// and absolute agreements; overdraft on and off), checks the optimized
+// production code — transitive closure, capacity computation, the LP
+// allocator — against slow, obviously-correct oracles implementing the
+// paper's §3.1 equations verbatim, and enforces metamorphic properties
+// (scaling, conservation, per-source caps, monotonicity, permutation
+// invariance). Every failure carries the integer seed that regenerates it
+// and a shrunk, minimal failing graph.
+//
+// The same package hosts a deterministic cluster runner that drives a
+// grm.Server and its LRM clients through a seeded interleaving schedule on
+// a virtual clock, checking ledger and lease invariants after every step.
+//
+// Entry points: CheckGraph (one graph), Run (a seeded campaign),
+// RunCluster (the protocol-level runner), and cmd/sharingcheck (the CLI
+// wrapper CI uses).
+package modeltest
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Shape names the agreement-graph families of the paper's taxonomy
+// (end of §2; the case study adds the cyclic loop).
+type Shape int
+
+const (
+	// Complete wires every ordered pair of principals.
+	Complete Shape = iota
+	// Sparse wires each principal to a few random partners.
+	Sparse
+	// Ring wires principal i to principal (i+1) mod n only.
+	Ring
+	// Hierarchical has complete groups bridged by gateway principals.
+	Hierarchical
+	// Irregular is unstructured: every edge drawn independently.
+	Irregular
+)
+
+// String returns the lowercase shape name.
+func (s Shape) String() string {
+	switch s {
+	case Complete:
+		return "complete"
+	case Sparse:
+		return "sparse"
+	case Ring:
+		return "ring"
+	case Hierarchical:
+		return "hierarchical"
+	case Irregular:
+		return "irregular"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// Graph is one generated test case: an agreement system in matrix form
+// plus the enforcement configuration it should be checked under.
+type Graph struct {
+	// N is the number of principals.
+	N int `json:"n"`
+	// S is the relative agreement matrix (zero diagonal, non-negative).
+	S [][]float64 `json:"s"`
+	// A is the absolute agreement matrix; nil when the case has none.
+	A [][]float64 `json:"a,omitempty"`
+	// V is the current availability per principal (non-negative).
+	V []float64 `json:"v"`
+	// Level is the transitivity level m (0 = full closure).
+	Level int `json:"level"`
+	// Overdraft records whether generation allowed row sums above 1
+	// (informational; enforcement caps either way).
+	Overdraft bool `json:"overdraft"`
+	// Shape records the taxonomy family the graph was drawn from.
+	Shape Shape `json:"shape"`
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{N: g.N, Level: g.Level, Overdraft: g.Overdraft, Shape: g.Shape}
+	out.S = cloneMatrix(g.S)
+	out.A = cloneMatrix(g.A)
+	out.V = append([]float64(nil), g.V...)
+	return out
+}
+
+// String renders the graph as compact JSON — the form failure reports
+// embed so a case can be eyeballed or replayed.
+func (g *Graph) String() string {
+	b, err := json.Marshal(g)
+	if err != nil {
+		return fmt.Sprintf("graph{n=%d, marshal error: %v}", g.N, err)
+	}
+	return string(b)
+}
+
+// maxLevel resolves Level to the effective chain-length bound.
+func (g *Graph) maxLevel() int {
+	if g.Level <= 0 || g.Level > g.N-1 {
+		if g.N <= 1 {
+			return 1
+		}
+		return g.N - 1
+	}
+	return g.Level
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+func zeroMatrix(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}

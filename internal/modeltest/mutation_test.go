@@ -1,0 +1,103 @@
+package modeltest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The mutation smoke tests prove the property suite has teeth: each
+// deliberately wrong system under test must be caught within a bounded
+// number of generated graphs, and each is caught by a different property —
+// transitive bugs by the capacity/θ oracles, LP bugs only by θ-minimality,
+// core accounting bugs by eq. 5 conservation. DESIGN.md §8 documents the
+// mapping.
+
+// mutationBudget is how many graphs each mutant gets before we declare
+// the suite blind to it. Kept small so the smoke test stays cheap; in
+// practice every mutant dies within the first handful of cases.
+const mutationBudget = 60
+
+func requireCaught(t *testing.T, mut Mutation, wantProps map[string]bool) {
+	t.Helper()
+	rep := Run(Options{Seed: 1, Iters: mutationBudget, Mutation: mut, NoShrink: true})
+	if rep.Failure == nil {
+		t.Fatalf("mutation %v survived %d generated graphs — the property suite is blind to it", mut, mutationBudget)
+	}
+	if !wantProps[rep.Failure.Property] {
+		t.Fatalf("mutation %v caught by property %q, expected one of %v\n%s",
+			mut, rep.Failure.Property, keys(wantProps), rep.Failure.Error())
+	}
+	t.Logf("mutation %v caught by %q after %d cases", mut, rep.Failure.Property, rep.Cases)
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestModelMutationTransitive: forgetting the cycle-free restriction
+// (walk-based coefficients instead of simple paths) inflates capacities
+// on any cyclic graph whose coefficients stay below the K cap.
+func TestModelMutationTransitive(t *testing.T) {
+	requireCaught(t, MutTransitive, map[string]bool{
+		"capacity-oracle":  true,
+		"plan-equations":   true,
+		"scale-invariance": true,
+	})
+}
+
+// TestModelMutationLP: a feasible-but-suboptimal planner satisfies every
+// feasibility equation — only the θ-minimality check can see it.
+func TestModelMutationLP(t *testing.T) {
+	requireCaught(t, MutLP, map[string]bool{
+		"plan-equations": true,
+	})
+}
+
+// TestModelMutationCore: dropping part of a take breaks Σ takes = amount
+// (eq. 5), which CheckAllocation flags directly.
+func TestModelMutationCore(t *testing.T) {
+	requireCaught(t, MutCore, map[string]bool{
+		"plan-equations": true,
+	})
+}
+
+// TestModelMutationNoneClean: with no mutation the same seeds must pass —
+// otherwise the mutants above could be "caught" by a false positive.
+func TestModelMutationNoneClean(t *testing.T) {
+	rep := Run(Options{Seed: 1, Iters: mutationBudget, Mutation: MutNone})
+	if rep.Failure != nil {
+		t.Fatalf("clean run failed: %s", rep.Failure.Error())
+	}
+}
+
+// TestModelShrinkOnRealFailure drives the full Run → shrink path using a
+// mutated SUT as a stand-in for a real bug, and checks the shrunk graph
+// still fails the same property (what a developer replays first).
+func TestModelShrinkOnRealFailure(t *testing.T) {
+	rep := Run(Options{Seed: 1, Iters: mutationBudget, Mutation: MutTransitive})
+	if rep.Failure == nil {
+		t.Fatal("expected the transitive mutant to be caught")
+	}
+	f := rep.Failure
+	if f.Shrunk == nil {
+		t.Fatal("failure carries no shrunk graph")
+	}
+	sf := CheckGraphMutated(f.Shrunk, MutTransitive)
+	if sf == nil || sf.Property != f.Property {
+		t.Fatalf("shrunk graph does not reproduce property %q: %v", f.Property, sf)
+	}
+	if f.Shrunk.N > f.Graph.N {
+		t.Fatalf("shrinker grew the graph: %d -> %d", f.Graph.N, f.Shrunk.N)
+	}
+	// The replay contract: regenerating from the reported seed must fail
+	// identically.
+	g := Generate(rand.New(rand.NewSource(f.Seed)))
+	rf := CheckGraphMutated(g, MutTransitive)
+	if rf == nil || rf.Property != f.Property {
+		t.Fatalf("seed %d does not replay the failure: %v", f.Seed, rf)
+	}
+}

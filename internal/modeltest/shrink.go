@@ -1,0 +1,128 @@
+package modeltest
+
+// Shrink minimizes a failing graph: it greedily applies reductions —
+// removing principals, zeroing agreement edges, dropping the absolute
+// matrix, rounding availabilities down — keeping each change only while
+// stillFails reports the candidate still violates the same property. The
+// result is a local minimum: no single remaining reduction preserves the
+// failure. stillFails must be deterministic.
+func Shrink(g *Graph, stillFails func(*Graph) bool) *Graph {
+	cur := g.Clone()
+	for {
+		next := shrinkStep(cur, stillFails)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep tries every single reduction on cur and returns the first
+// one that still fails, or nil when cur is minimal.
+func shrinkStep(cur *Graph, stillFails func(*Graph) bool) *Graph {
+	// 1. Remove a principal (biggest wins first: shrinks every later pass).
+	for p := 0; p < cur.N; p++ {
+		if cur.N <= minPrincipals {
+			break
+		}
+		cand := removePrincipal(cur, p)
+		if stillFails(cand) {
+			return cand
+		}
+	}
+	// 2. Drop the absolute matrix entirely.
+	if cur.A != nil {
+		cand := cur.Clone()
+		cand.A = nil
+		if stillFails(cand) {
+			return cand
+		}
+	}
+	// 3. Zero a single agreement edge (relative, then absolute).
+	for i := 0; i < cur.N; i++ {
+		for j := 0; j < cur.N; j++ {
+			if cur.S[i][j] != 0 {
+				cand := cur.Clone()
+				cand.S[i][j] = 0
+				if stillFails(cand) {
+					return cand
+				}
+			}
+			if cur.A != nil && cur.A[i][j] != 0 {
+				cand := cur.Clone()
+				cand.A[i][j] = 0
+				if stillFails(cand) {
+					return cand
+				}
+			}
+		}
+	}
+	// 4. Simplify values: zero an availability, then halve it (snapped to
+	// the grid), then the same for agreement weights toward 1 or 0.
+	for i := 0; i < cur.N; i++ {
+		if cur.V[i] != 0 {
+			cand := cur.Clone()
+			cand.V[i] = 0
+			if stillFails(cand) {
+				return cand
+			}
+			cand = cur.Clone()
+			cand.V[i] = gridDown(cur.V[i] / 2)
+			if cand.V[i] != cur.V[i] && stillFails(cand) {
+				return cand
+			}
+		}
+	}
+	for i := 0; i < cur.N; i++ {
+		for j := 0; j < cur.N; j++ {
+			if s := cur.S[i][j]; s != 0 && s != 1 {
+				cand := cur.Clone()
+				cand.S[i][j] = gridDown(s / 2)
+				if cand.S[i][j] != s && stillFails(cand) {
+					return cand
+				}
+			}
+		}
+	}
+	// 5. Promote a partial level to full closure (fewer moving parts).
+	if cur.Level != 0 {
+		cand := cur.Clone()
+		cand.Level = 0
+		if stillFails(cand) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// removePrincipal deletes principal p, compacting indices.
+func removePrincipal(g *Graph, p int) *Graph {
+	n := g.N - 1
+	out := &Graph{N: n, Level: g.Level, Overdraft: g.Overdraft, Shape: g.Shape}
+	if out.Level > n-1 {
+		out.Level = 0
+	}
+	out.S = zeroMatrix(n)
+	if g.A != nil {
+		out.A = zeroMatrix(n)
+	}
+	out.V = make([]float64, n)
+	for i, oi := 0, 0; i < g.N; i++ {
+		if i == p {
+			continue
+		}
+		out.V[oi] = g.V[i]
+		for j, oj := 0, 0; j < g.N; j++ {
+			if j == p {
+				continue
+			}
+			out.S[oi][oj] = g.S[i][j]
+			if g.A != nil {
+				out.A[oi][oj] = g.A[i][j]
+			}
+			oj++
+		}
+		oi++
+	}
+	return out
+}

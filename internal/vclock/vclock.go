@@ -1,0 +1,135 @@
+// Package vclock abstracts the flow of time for components whose behavior
+// depends on it — lease expiry, reapers, renewal cadences — so tests can
+// drive them deterministically. Production code uses Real (thin wrappers
+// around package time); the model-based testing harness and the grm lease
+// tests use Virtual, a manually advanced clock whose tickers fire exactly
+// when Advance crosses their next deadline.
+//
+// The abstraction deliberately covers only Now and tickers: network
+// deadlines (net.Conn Set*Deadline) compare against the operating system's
+// clock and must keep using real time, so they are out of scope.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and repeating tickers.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic subset of time.Ticker.
+type Ticker interface {
+	// C returns the channel ticks are delivered on.
+	C() <-chan time.Time
+	// Stop shuts the ticker down. It does not close the channel.
+	Stop()
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// NewTicker returns a ticker backed by time.NewTicker.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+// Virtual is a manually advanced clock. Time stands still until Advance
+// (or Set) moves it; tickers fire during Advance when their deadlines are
+// crossed. Virtual is safe for concurrent use — readers see a consistent
+// time while another goroutine advances it.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*virtualTicker
+}
+
+// NewVirtual returns a virtual clock frozen at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Set jumps the clock to t without firing tickers; their deadlines are
+// rebased relative to t. Use Advance to model elapsing time.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, tk := range v.tickers {
+		tk.next = t.Add(tk.period)
+	}
+	v.now = t
+}
+
+// Advance moves the clock forward by d, delivering one tick per ticker
+// deadline crossed (a ticker whose channel is full drops ticks, exactly
+// like time.Ticker). d must be non-negative.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("vclock: Advance with negative duration")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	for _, tk := range v.tickers {
+		for !tk.stopped && !tk.next.After(target) {
+			select {
+			case tk.ch <- tk.next:
+			default: // slow receiver: drop, like time.Ticker
+			}
+			tk.next = tk.next.Add(tk.period)
+		}
+	}
+	v.now = target
+}
+
+// NewTicker returns a ticker that fires when Advance crosses multiples of
+// d from the moment of creation.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: NewTicker with non-positive period")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tk := &virtualTicker{
+		clock:  v,
+		period: d,
+		next:   v.now.Add(d),
+		ch:     make(chan time.Time, 1),
+	}
+	v.tickers = append(v.tickers, tk)
+	return tk
+}
+
+type virtualTicker struct {
+	clock   *Virtual
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *virtualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTicker) Stop() {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	t.stopped = true
+}

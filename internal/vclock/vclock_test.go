@@ -1,0 +1,120 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now after Advance = %v, want %v", got, start.Add(3*time.Second))
+	}
+	v.Advance(0)
+	if got := v.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Advance(0) moved time to %v", got)
+	}
+}
+
+func TestVirtualTickerFiresOnCrossings(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before any Advance")
+	default:
+	}
+	// Crossing one deadline delivers one tick.
+	v.Advance(10 * time.Millisecond)
+	select {
+	case at := <-tk.C():
+		if !at.Equal(time.Unix(0, 0).Add(10 * time.Millisecond)) {
+			t.Errorf("tick at %v, want +10ms", at)
+		}
+	default:
+		t.Fatal("no tick after crossing the period")
+	}
+	// Crossing three deadlines with a full channel drops the excess, like
+	// time.Ticker's capacity-1 channel.
+	v.Advance(30 * time.Millisecond)
+	<-tk.C()
+	select {
+	case <-tk.C():
+		t.Fatal("dropped ticks were queued")
+	default:
+	}
+	tk.Stop()
+	v.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestVirtualSetRebasesTickers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Second)
+	v.Set(time.Unix(100, 0))
+	select {
+	case <-tk.C():
+		t.Fatal("Set fired a ticker")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case at := <-tk.C():
+		if !at.Equal(time.Unix(101, 0)) {
+			t.Errorf("tick at %v, want rebased 101s", at)
+		}
+	default:
+		t.Fatal("rebased ticker did not fire")
+	}
+}
+
+func TestVirtualConcurrentAccess(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Millisecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C():
+			default:
+				v.Now()
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		v.Advance(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now %v far behind wall clock %v", now, before)
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}
