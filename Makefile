@@ -17,7 +17,7 @@ test:
 # Race-enabled run of the concurrency-critical packages plus a plain run
 # of everything else (LP benches are pure-CPU and slow under -race).
 race:
-	$(GO) test -race ./internal/grm/... ./internal/core/... ./internal/batch/... ./internal/sim/... ./internal/metrics/... ./internal/modeltest/... ./internal/vclock/...
+	$(GO) test -race ./internal/grm/... ./internal/store/... ./internal/core/... ./internal/batch/... ./internal/sim/... ./internal/metrics/... ./internal/modeltest/... ./internal/vclock/...
 
 # Model-based testing campaign (DESIGN.md §8): random agreement graphs
 # checked against brute-force oracles, deterministic GRM cluster
@@ -42,7 +42,7 @@ check: build
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/grm/...
+	$(GO) test -race ./internal/grm/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -7,6 +7,7 @@
 //	grmd -listen :7070 -level 0
 //	grmd -listen :7071 -parent host:7070 -name cluster-east
 //	grmd -listen :7070 -lease-ttl 5m -idle-timeout 10m
+//	grmd -listen :7070 -wal-dir /var/lib/grmd -snapshot-interval 5m
 //
 // With -parent, the GRM attaches to a higher-level GRM as one aggregated
 // principal, realizing the paper's multi-level GRM architecture; the
@@ -14,36 +15,51 @@
 // reconnects (re-registering under the same cluster name) if it later
 // dies. -lease-ttl reclaims allocations whose holder vanished without
 // releasing; clients keep long-lived leases with Renew.
+//
+// With -wal-dir, every committed state transition is appended to a
+// write-ahead log in that directory and, on the next boot, replayed so
+// the GRM resumes with the exact leases, borrows, and capacities it held
+// when it stopped — including after a crash (the log recovers cleanly
+// from a torn tail). -snapshot-interval periodically folds the log into
+// a compacted snapshot to bound replay time. SIGTERM and SIGINT shut the
+// server down cleanly: connections are severed, in-flight requests
+// finish, and the log is flushed before exit.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
 	"repro/internal/grm"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":7070", "address to listen on")
-		level      = flag.Int("level", 0, "transitivity level (0 = full closure)")
-		approx     = flag.Bool("approx", false, "use matrix-power approximation for flow coefficients")
-		parent     = flag.String("parent", "", "optional parent GRM address for multi-level operation")
-		name       = flag.String("name", "cluster", "cluster name when attaching to a parent")
-		agreements = flag.String("agreements", "", "JSON agreements snapshot to preload (see internal/agreement.Snapshot)")
-		status     = flag.String("status", "", "optional HTTP address serving the JSON status view (e.g. :8080)")
-		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim unreleased leases after this TTL (0 = leases never expire)")
-		idle       = flag.Duration("idle-timeout", 0, "drop LRM connections quiet for longer than this (0 = unlimited)")
-		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-operation deadline on the parent link and response writes")
-		retries    = flag.Int("retries", 5, "reconnect rounds per failed parent-link operation")
-		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial parent-link reconnect backoff (doubles, jittered)")
+		listen       = flag.String("listen", ":7070", "address to listen on")
+		level        = flag.Int("level", 0, "transitivity level (0 = full closure)")
+		approx       = flag.Bool("approx", false, "use matrix-power approximation for flow coefficients")
+		parent       = flag.String("parent", "", "optional parent GRM address for multi-level operation")
+		name         = flag.String("name", "cluster", "cluster name when attaching to a parent")
+		agreements   = flag.String("agreements", "", "JSON agreements snapshot to preload (see internal/agreement.Snapshot)")
+		status       = flag.String("status", "", "optional HTTP address serving the JSON status view (e.g. :8080)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "reclaim unreleased leases after this TTL (0 = leases never expire)")
+		idle         = flag.Duration("idle-timeout", 0, "drop LRM connections quiet for longer than this (0 = unlimited)")
+		ioTimeout    = flag.Duration("io-timeout", 10*time.Second, "per-operation deadline on the parent link and response writes")
+		retries      = flag.Int("retries", 5, "reconnect rounds per failed parent-link operation")
+		backoff      = flag.Duration("backoff", 100*time.Millisecond, "initial parent-link reconnect backoff (doubles, jittered)")
+		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log; state is replayed from it on boot (empty = volatile)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "fold the WAL into a compacted snapshot this often (0 = never; requires -wal-dir)")
 	)
 	flag.Parse()
 
@@ -52,21 +68,56 @@ func main() {
 	server.SetLeaseTTL(*leaseTTL)
 	server.SetTimeouts(*idle, *ioTimeout)
 
+	var wal *store.FileLog
+	recovered := false
+	if *walDir != "" {
+		var err error
+		wal, err = store.OpenFileLog(*walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: open wal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := server.Recover(wal); err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: recover: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := server.Status()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grmd: recover: %v\n", err)
+			os.Exit(1)
+		}
+		recovered = len(st.Principals) > 0
+		if recovered {
+			logger.Printf("recovered from %s: %d principals, %d leases, %d agreements",
+				*walDir, len(st.Principals), st.Leases, st.Agreements)
+		}
+		if borrows := server.UnresolvedBorrows(); len(borrows) > 0 {
+			logger.Printf("recovered leases hold unresolved federation borrows (parent leases %v); the parent's lease TTL reclaims them", borrows)
+		}
+	}
+
 	if *agreements != "" {
-		f, err := os.Open(*agreements)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
-			os.Exit(1)
-		}
-		snap, err := agreement.ReadSnapshot(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
-			os.Exit(1)
-		}
-		if err := server.LoadSnapshot(snap); err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
-			os.Exit(1)
+		if recovered {
+			// The replayed log already contains the loaded snapshot (and
+			// everything that happened after it); loading again would
+			// clash with the recovered principals.
+			logger.Printf("-agreements ignored: state recovered from %s", *walDir)
+		} else {
+			f, err := os.Open(*agreements)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+				os.Exit(1)
+			}
+			snap, err := agreement.ReadSnapshot(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+				os.Exit(1)
+			}
+			if err := server.LoadSnapshot(snap); err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -109,8 +160,47 @@ func main() {
 		logger.Printf("attached to parent GRM at %s as %q", *parent, *name)
 	}
 
-	if err := server.Serve(l); err != nil {
+	// Periodic WAL compaction bounds replay time after a restart.
+	stopCompact := make(chan struct{})
+	if wal != nil && *snapInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCompact:
+					return
+				case <-t.C:
+					if err := server.Compact(); err != nil {
+						logger.Printf("wal compaction: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// SIGTERM/SIGINT shut down cleanly: Close severs LRM connections,
+	// waits for in-flight handlers, and flushes the WAL.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %v, shutting down", sig)
+		if err := server.Close(); err != nil {
+			logger.Printf("close: %v", err)
+		}
+	}()
+
+	err = server.Serve(l)
+	close(stopCompact)
+	if wal != nil {
+		if cerr := wal.Close(); cerr != nil {
+			logger.Printf("wal close: %v", cerr)
+		}
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
 		os.Exit(1)
 	}
+	logger.Printf("shutdown complete")
 }

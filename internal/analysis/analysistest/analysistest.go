@@ -7,6 +7,8 @@
 package analysistest
 
 import (
+	"go/build"
+	"os"
 	"path/filepath"
 	"regexp"
 	"testing"
@@ -21,6 +23,15 @@ var wantRE = regexp.MustCompile(`//\s*want\s+` + "[\"`](.*)[\"`]" + `\s*$`)
 // lint:ignore suppression) and the `// want` expectations as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	// Point GOPATH at testdata so golden packages can import sibling
+	// stand-ins (testdata/src/<dep>) through the source importer, in
+	// addition to the standard library — the x/tools analysistest layout.
+	// go/build only consults GOPATH outside module mode, and the repo's
+	// go.mod would otherwise put these loads in module mode.
+	if gopath, err := filepath.Abs("testdata"); err == nil {
+		build.Default.GOPATH = gopath
+		os.Setenv("GO111MODULE", "off")
+	}
 	dir := filepath.Join("testdata", "src", pkg)
 	loader := analysis.NewLoader()
 	p, err := loader.LoadDir(dir, pkg)

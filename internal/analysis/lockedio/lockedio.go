@@ -63,6 +63,19 @@ var codecCalls = map[string]string{
 	"(*encoding/json.Decoder).Decode": "json decode from the stream",
 }
 
+// transportMethods are the connection-I/O entry points of the GRM's
+// transport layer (internal/grm/transport): Serve blocks in the accept
+// loop until Close, and Close severs every connection and waits for
+// in-flight handlers — both deadlock the server if called under its
+// state mutex. The in-package I/O summaries cannot see across package
+// boundaries, so these are classified by callee package name + method;
+// the golden tests model the package with a stand-in of the same name.
+// Configuration-only methods (SetTimeouts, Addr) are deliberately absent.
+var transportMethods = map[string]string{
+	"Serve": "transport accept loop (blocks until Close)",
+	"Close": "transport shutdown (severs conns, waits for in-flight handlers)",
+}
+
 type checker struct {
 	pass     *analysis.Pass
 	conn     *types.Interface // net.Conn, nil when unreachable
@@ -193,6 +206,12 @@ func (c *checker) directIO(call *ast.CallExpr) (token.Pos, string, bool) {
 	}
 	if desc, ok := codecCalls[full]; ok {
 		return call.Pos(), desc, true
+	}
+	if callee := analysis.Callee(c.pass.TypesInfo, call); callee != nil &&
+		callee.Pkg() != nil && callee.Pkg() != c.pass.Pkg && callee.Pkg().Name() == "transport" {
+		if desc, ok := transportMethods[callee.Name()]; ok {
+			return call.Pos(), desc, true
+		}
 	}
 	if recv := analysis.RecvType(c.pass.TypesInfo, call); recv != nil {
 		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)

@@ -1,0 +1,58 @@
+// Golden cases for the layered-GRM split: a service struct that owns a
+// transport.Server and a state mutex. The rule under test: no transport
+// lifecycle calls, and no pipeline replies, while the state mutex is
+// held.
+package a
+
+import (
+	"net"
+	"sync"
+
+	"transport"
+)
+
+type grmServer struct {
+	mu sync.Mutex
+	tr *transport.Server
+}
+
+func badServeUnderLock(s *grmServer, l net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.Serve(l) // want "transport accept loop"
+}
+
+func badCloseUnderLock(s *grmServer) {
+	s.mu.Lock()
+	s.tr.Close() // want "transport shutdown"
+	s.mu.Unlock()
+}
+
+func goodConfigUnderLock(s *grmServer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.SetTimeouts(0, 0) // configuration only: ok
+	_ = s.tr.Addr()
+}
+
+func goodLifecycleAfterUnlock(s *grmServer, l net.Listener) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	go s.tr.Serve(l)
+	s.tr.Close()
+}
+
+// The batch pipeline's reply rule: per-request replies are delivered
+// after the commit critical section ends. A send under the lock stalls
+// the whole server on one slow requester.
+func badReplyUnderLock(s *grmServer, resp chan int) {
+	s.mu.Lock()
+	resp <- 1 // want "blocking channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func goodReplyAfterCommit(s *grmServer, resp chan int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	resp <- 1 // commit section over: ok
+}

@@ -109,6 +109,7 @@ type planWS struct {
 	caps   []float64 // C_i before the allocation
 	uCol   []float64 // U_{i→requester} (v[i] for the requester itself)
 	after  []float64 // C_i after the candidate allocation
+	chain  []float64 // PlanBatch's running availability between requests
 	clones []*lp.Model
 	lpws   lp.Workspace
 }
@@ -185,6 +186,7 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 			caps:   make([]float64, n),
 			uCol:   make([]float64, n),
 			after:  make([]float64, n),
+			chain:  make([]float64, n),
 			clones: make([]*lp.Model, n),
 		}
 	}
@@ -255,18 +257,35 @@ func (al *Allocator) Plan(v []float64, requester int, amount float64) (*Allocati
 	if requester < 0 || requester >= al.n {
 		panic(fmt.Sprintf("core: requester %d out of range [0,%d)", requester, al.n))
 	}
-	if amount < 0 {
-		return nil, fmt.Errorf("core: negative request %g", amount)
-	}
 	ws := al.pool.Get().(*planWS)
 	defer al.pool.Put(ws)
+	out := &Allocation{Take: make([]float64, al.n), NewV: make([]float64, al.n)}
+	if err := al.planInto(out, v, requester, amount, ws); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// planInto plans one request into out (Take and NewV pre-sized to n).
+// Factored out of Plan so PlanBatch can solve many requests against one
+// workspace and bulk-allocated result arrays; the computation is
+// bit-identical to Plan's.
+func (al *Allocator) planInto(out *Allocation, v []float64, requester int, amount float64, ws *planWS) error {
+	if amount < 0 {
+		return fmt.Errorf("core: negative request %g", amount)
+	}
 	al.capsInto(ws.caps, v)
 	if ws.caps[requester] < amount-1e-9 {
-		return nil, fmt.Errorf("%w: principal %d has capacity %g, requested %g",
+		return fmt.Errorf("%w: principal %d has capacity %g, requested %g",
 			ErrInsufficient, requester, ws.caps[requester], amount)
 	}
 	if num.IsZero(amount) {
-		return &Allocation{Take: make([]float64, al.n), NewV: append([]float64(nil), v...)}, nil
+		for i := range out.Take {
+			out.Take[i] = 0
+		}
+		copy(out.NewV, v)
+		out.Theta = 0
+		return nil
 	}
 	// The requester's U column, computed once: it bounds V'_i from below
 	// in the LP and caps each source's take during normalization.
@@ -274,9 +293,9 @@ func (al *Allocator) Plan(v []float64, requester int, amount float64) (*Allocati
 		ws.uCol[i] = al.sourceCap(v, i, requester)
 	}
 	if al.cfg.Faithful {
-		return al.planFaithful(v, requester, amount, ws)
+		return al.planFaithful(out, v, requester, amount, ws)
 	}
-	return al.planSubstituted(v, requester, amount, ws)
+	return al.planSubstituted(out, v, requester, amount, ws)
 }
 
 // buildSkeleton constructs requester's substituted LP structure with
@@ -365,7 +384,7 @@ func (al *Allocator) skeleton(requester int) *planSkeleton {
 // planSubstituted solves the n+1-variable LP (variables V'_i and θ) by
 // rebinding the cached skeleton: only the V'_i bounds and the consume /
 // perturb / requester_drop right-hand sides change between calls.
-func (al *Allocator) planSubstituted(v []float64, requester int, amount float64, ws *planWS) (*Allocation, error) {
+func (al *Allocator) planSubstituted(out *Allocation, v []float64, requester int, amount float64, ws *planWS) error {
 	n := al.n
 	sk := al.skeleton(requester)
 	m := ws.clones[requester]
@@ -397,17 +416,16 @@ func (al *Allocator) planSubstituted(v []float64, requester int, amount float64,
 
 	sol, err := m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
 	if err != nil {
-		return nil, fmt.Errorf("core: allocation LP failed: %w", err)
+		return fmt.Errorf("core: allocation LP failed: %w", err)
 	}
-	return al.allocationFrom(v, requester, amount, sol, ws)
+	return al.allocationInto(out, v, requester, amount, sol, ws)
 }
 
-// allocationFrom converts an LP solution over V' variables into an
-// Allocation, cleaning round-off and recomputing θ exactly. In both LP
-// formulations V'_i is variable i, so values are read by index.
-func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, sol *lp.Solution, ws *planWS) (*Allocation, error) {
+// allocationInto converts an LP solution over V' variables into out,
+// cleaning round-off and recomputing θ exactly. In both LP formulations
+// V'_i is variable i, so values are read by index.
+func (al *Allocator) allocationInto(out *Allocation, v []float64, requester int, amount float64, sol *lp.Solution, ws *planWS) error {
 	n := al.n
-	out := &Allocation{Take: make([]float64, n), NewV: make([]float64, n)}
 	for i := 0; i < n; i++ {
 		nv := sol.Value(lp.VarID(i))
 		if nv < 0 {
@@ -424,11 +442,11 @@ func (al *Allocator) allocationFrom(v []float64, requester int, amount float64, 
 		// solution still misses the request: the plan cannot be repaired
 		// within the agreements. Surface it instead of returning an
 		// allocation that silently under- or over-delivers.
-		return nil, fmt.Errorf("core: repaired allocation off by %g of %g requested with every source at its cap: %w",
+		return fmt.Errorf("core: repaired allocation off by %g of %g requested with every source at its cap: %w",
 			resid, amount, ErrInfeasible)
 	}
 	out.Theta = al.realizedTheta(v, out.NewV, requester, ws.caps, ws.after)
-	return out, nil
+	return nil
 }
 
 // realizedTheta recomputes max_{i≠requester} (C_i − C'_i) from first

@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// BatchRequest is one allocation request inside a PlanBatch call.
+type BatchRequest struct {
+	Requester int
+	Amount    float64
+}
+
+// BatchResult pairs one batch request with its outcome. Exactly one of
+// Alloc and Err is set.
+type BatchResult struct {
+	Alloc *Allocation
+	Err   error
+}
+
+// PlanBatch plans a sequence of requests against one availability
+// vector, committing each successful allocation before planning the
+// next with the GRM's commit rule (avail[i] -= Take[i], clamped at 0).
+// The results are bit-identical to calling Plan once per request with
+// that rule applied between calls — the point is not a different
+// schedule but a cheaper one: the whole batch shares one pooled
+// workspace and two bulk-allocated backing arrays instead of paying
+// Plan's per-call allocations, and the GRM's batcher holds its state
+// lock for one commit instead of one per request.
+//
+// A failed request (insufficient capacity, infeasible repair, negative
+// amount) consumes nothing and does not stop the batch; its BatchResult
+// carries the error and planning continues with the availability
+// unchanged, exactly as a sequence of independent Plan calls would.
+func (al *Allocator) PlanBatch(v []float64, reqs []BatchRequest) []BatchResult {
+	al.checkV(v)
+	n := al.n
+	for _, req := range reqs {
+		if req.Requester < 0 || req.Requester >= n {
+			panic(fmt.Sprintf("core: requester %d out of range [0,%d)", req.Requester, n))
+		}
+	}
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	ws := al.pool.Get().(*planWS)
+	defer al.pool.Put(ws)
+
+	// One backing array per field for the whole batch: 3 allocations
+	// regardless of batch size, against 3 per request in Plan.
+	takeBuf := make([]float64, 2*len(reqs)*n)
+	newVBuf := takeBuf[len(reqs)*n:]
+	takeBuf = takeBuf[:len(reqs)*n:len(reqs)*n]
+	allocs := make([]Allocation, len(reqs))
+
+	cur := ws.chain
+	copy(cur, v)
+	for r, req := range reqs {
+		out := &allocs[r]
+		out.Take = takeBuf[r*n : (r+1)*n : (r+1)*n]
+		out.NewV = newVBuf[r*n : (r+1)*n : (r+1)*n]
+		if err := al.planInto(out, cur, req.Requester, req.Amount, ws); err != nil {
+			results[r].Err = err
+			continue
+		}
+		results[r].Alloc = out
+		for i, take := range out.Take {
+			cur[i] -= take
+			if cur[i] < 0 {
+				cur[i] = 0
+			}
+		}
+	}
+	return results
+}

@@ -211,3 +211,112 @@ func BenchmarkCapacities10(b *testing.B) {
 		al.Capacities(v)
 	}
 }
+
+// batchBenchRequests is the 8-request mix the batching benchmarks share:
+// every principal requests once, amounts small enough that all eight
+// succeed against the benchScenario availabilities.
+func batchBenchRequests() []BatchRequest {
+	reqs := make([]BatchRequest, 8)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Requester: i, Amount: 5 + float64(i)}
+	}
+	return reqs
+}
+
+// BenchmarkPlanSequential8 is the GRM's pre-batching alloc path for a
+// burst of eight concurrent requests, serialized deterministically: the
+// server's optimistic loop solves each request against the availability
+// snapshot taken at admission, and every commit bumps the epoch, so a
+// request that arrived before an earlier commit re-solves against the
+// fresh state before its own commit (grm/server.go's conflict path).
+// Only the re-solved plans commit, so the final allocations are
+// bit-identical to the chained sequence PlanBatch produces — the burst
+// just pays seven discarded solves to get there.
+func BenchmarkPlanSequential8(b *testing.B) {
+	s, v := benchScenario(8)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := batchBenchRequests()
+	cur := make([]float64, len(v))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cur, v)
+		for r, req := range reqs {
+			// Admission-time optimistic solve against the burst's shared
+			// snapshot; stale (and discarded) for every request but the
+			// first, because each earlier commit moved the epoch.
+			if r > 0 {
+				if _, err := al.Plan(v, req.Requester, req.Amount); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Conflict re-solve against the committed state, then commit.
+			a, err := al.Plan(cur, req.Requester, req.Amount)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, take := range a.Take {
+				cur[j] -= take
+				if cur[j] < 0 {
+					cur[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPlanChained8 is the zero-contention floor: the same eight
+// requests as exactly eight Plan calls with the commit rule applied
+// between them and no conflict replans. PlanBatch matches its solve
+// count, so the two differ only in per-call overhead.
+func BenchmarkPlanChained8(b *testing.B) {
+	s, v := benchScenario(8)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := batchBenchRequests()
+	cur := make([]float64, len(v))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cur, v)
+		for _, req := range reqs {
+			a, err := al.Plan(cur, req.Requester, req.Amount)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, take := range a.Take {
+				cur[j] -= take
+				if cur[j] < 0 {
+					cur[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPlanBatch8 plans the same eight requests through PlanBatch;
+// the allocations are bit-identical (batch_test.go checks) but the
+// batch shares one workspace and bulk result arrays.
+func BenchmarkPlanBatch8(b *testing.B) {
+	s, v := benchScenario(8)
+	al, err := NewAllocator(s, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := batchBenchRequests()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := al.PlanBatch(v, reqs)
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

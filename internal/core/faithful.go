@@ -14,9 +14,9 @@ import (
 // the pivot cost; it exists for validation and the ablation bench.
 // Absolute agreements are not part of the paper's printed LP, so the
 // faithful mode rejects them.
-func (al *Allocator) planFaithful(v []float64, requester int, amount float64, ws *planWS) (*Allocation, error) {
+func (al *Allocator) planFaithful(out *Allocation, v []float64, requester int, amount float64, ws *planWS) error {
 	if al.a != nil {
-		return nil, fmt.Errorf("core: Faithful formulation covers the paper's basic model only (no absolute agreement matrix)")
+		return fmt.Errorf("core: Faithful formulation covers the paper's basic model only (no absolute agreement matrix)")
 	}
 	n := al.n
 	caps := ws.caps
@@ -95,7 +95,7 @@ func (al *Allocator) planFaithful(v []float64, requester int, amount float64, ws
 
 	sol, err := m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
 	if err != nil {
-		return nil, fmt.Errorf("core: faithful allocation LP failed: %w", err)
+		return fmt.Errorf("core: faithful allocation LP failed: %w", err)
 	}
-	return al.allocationFrom(v, requester, amount, sol, ws)
+	return al.allocationInto(out, v, requester, amount, sol, ws)
 }

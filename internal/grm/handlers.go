@@ -1,0 +1,279 @@
+package grm
+
+import (
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/store"
+)
+
+// Request handlers for everything except allocation (alloc.go). Each wire
+// handler validates under s.mu, applies the transition through a *Locked
+// helper, and records it in the write-ahead log. Crash recovery
+// (recovery.go) replays the same *Locked helpers, so a restarted server
+// walks the identical code paths live operation did.
+
+func (s *Server) register(r *RegisterRequest) *Response {
+	if r.Name == "" {
+		return errorf("grm: register: empty name")
+	}
+	if r.Capacity < 0 {
+		return errorf("grm: register: negative capacity %g", r.Capacity)
+	}
+	pid, err := s.registerLocked(r.Name, r.Capacity)
+	if err != nil {
+		return errorf("grm: register: %v", err)
+	}
+	return &Response{Register: &RegisterReply{Principal: pid}}
+}
+
+// registerLocked binds name to a principal: an existing principal (one
+// declared by a preloaded snapshot, or a previous registration) is
+// re-attached with the fresh capacity, otherwise a new principal and its
+// general resource are created. Callers hold s.mu.
+func (s *Server) registerLocked(name string, capacity float64) (int, error) {
+	for i, have := range s.names {
+		if have == name {
+			s.avail[i] = capacity
+			if capacity > s.reported[i] {
+				s.reported[i] = capacity
+			}
+			s.epoch++
+			s.appendLocked(&store.Record{Kind: store.KindRegister, Principal: i, Name: name, Capacity: capacity})
+			s.logger.Printf("grm: %q re-attached as principal %d (capacity %g)", name, i, capacity)
+			return i, nil
+		}
+	}
+	pid := s.sys.AddPrincipal(name)
+	rid, err := s.sys.AddResource(name, agreement.General, pid, capacity)
+	if err != nil {
+		return 0, err
+	}
+	s.resources = append(s.resources, rid)
+	s.avail = append(s.avail, capacity)
+	s.reported = append(s.reported, capacity)
+	s.names = append(s.names, name)
+	s.planner = nil // structure changed
+	s.epoch++
+	s.appendLocked(&store.Record{Kind: store.KindRegister, Principal: int(pid), Name: name, Capacity: capacity})
+	s.logger.Printf("grm: registered %q as principal %d (capacity %g)", name, pid, capacity)
+	return int(pid), nil
+}
+
+func (s *Server) report(r *ReportRequest) *Response {
+	if err := s.checkPrincipal(r.Principal); err != nil {
+		return errorf("grm: report: %v", err)
+	}
+	if r.Available < 0 {
+		return errorf("grm: report: negative availability %g", r.Available)
+	}
+	s.reportLocked(r.Principal, r.Available)
+	return &Response{Report: &ReportReply{}}
+}
+
+// reportLocked overwrites a principal's availability with its LRM's
+// report and lifts the reported high-water mark. Callers hold s.mu and
+// have validated the principal and amount.
+func (s *Server) reportLocked(principal int, available float64) {
+	s.avail[principal] = available
+	if available > s.reported[principal] {
+		s.reported[principal] = available
+	}
+	s.epoch++
+	s.appendLocked(&store.Record{Kind: store.KindReport, Principal: principal, Available: available})
+}
+
+func (s *Server) share(r *ShareRequest) *Response {
+	if err := s.checkPrincipal(r.From); err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	if err := s.checkPrincipal(r.To); err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	switch {
+	case r.Fraction > 0 && r.Quantity == 0:
+		if r.Fraction > 1 {
+			return errorf("grm: share: fraction %g exceeds 1", r.Fraction)
+		}
+	case r.Quantity > 0 && r.Fraction == 0:
+	default:
+		return errorf("grm: share: exactly one of Fraction or Quantity must be positive")
+	}
+	ticket, err := s.shareLocked(r.From, r.To, r.Fraction, r.Quantity)
+	if err != nil {
+		return errorf("grm: share: %v", err)
+	}
+	s.logger.Printf("grm: agreement %d -> %d (fraction %g, quantity %g)", r.From, r.To, r.Fraction, r.Quantity)
+	return &Response{Share: &ShareReply{Ticket: ticket}}
+}
+
+// shareLocked creates one agreement — relative when fraction is positive,
+// absolute otherwise — and returns its wire ticket token (an index into
+// the ordered share history). Callers hold s.mu and have validated the
+// principals and that exactly one of fraction/quantity is positive.
+func (s *Server) shareLocked(fromP, toP int, fraction, quantity float64) (int, error) {
+	from := s.sys.CurrencyOf(agreement.PrincipalID(fromP))
+	to := s.sys.CurrencyOf(agreement.PrincipalID(toP))
+	var tid agreement.TicketID
+	var err error
+	if fraction > 0 {
+		units := fraction * s.sys.Currency(from).FaceValue
+		tid, err = s.sys.ShareRelative(from, to, units)
+	} else {
+		tid, err = s.sys.ShareAbsolute(from, to, agreement.General, quantity, agreement.Sharing)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.tickets = append(s.tickets, tid)
+	s.shareHist = append(s.shareHist, shareInfo{from: fromP, to: toP, fraction: fraction, quantity: quantity})
+	s.planner = nil
+	s.epoch++
+	ticket := len(s.tickets) - 1
+	s.appendLocked(&store.Record{Kind: store.KindShare, From: fromP, To: toP,
+		Fraction: fraction, Quantity: quantity, Ticket: ticket})
+	return ticket, nil
+}
+
+func (s *Server) revoke(r *RevokeRequest) *Response {
+	if r.Ticket < 0 || r.Ticket >= len(s.tickets) {
+		return errorf("grm: revoke: unknown ticket %d", r.Ticket)
+	}
+	s.revokeLocked(r.Ticket)
+	return &Response{Revoke: &ReportReply{}}
+}
+
+// revokeLocked revokes an agreement by its validated ticket token.
+// Callers hold s.mu.
+func (s *Server) revokeLocked(ticket int) {
+	s.sys.Revoke(s.tickets[ticket])
+	s.planner = nil
+	s.epoch++
+	s.appendLocked(&store.Record{Kind: store.KindRevoke, Ticket: ticket})
+}
+
+// release returns a lease's takes to the availability view, capped by
+// each principal's last reported capacity (fresh reports remain ground
+// truth), and repays the parent GRM when the lease carried a federation
+// borrow. The parent round trip happens outside the lock.
+func (s *Server) release(r *ReleaseRequest) *Response {
+	s.mu.Lock()
+	le, ok := s.leases[r.Lease]
+	if !ok {
+		s.mu.Unlock()
+		return errorf("grm: release: unknown lease %d", r.Lease)
+	}
+	delete(s.leases, r.Lease)
+	s.creditLocked(le.takes)
+	s.appendLocked(&store.Record{Kind: store.KindRelease, Lease: r.Lease, ParentLease: le.parentLease})
+	if le.parentLease != 0 && le.parentLink != nil {
+		// Record the repayment intent before the round trip: a crash
+		// between the two leaves the parent lease to its TTL reaper.
+		s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: le.parentLease})
+	}
+	s.mu.Unlock()
+	if le.parentLease != 0 && le.parentLink != nil {
+		if err := le.parentLink.repay(le.parentLease); err != nil {
+			s.logger.Printf("grm: release: repaying parent lease %d: %v", le.parentLease, err)
+		}
+	}
+	return &Response{Release: &ReportReply{}}
+}
+
+// renew pushes a live lease's expiry out by the configured TTL.
+func (s *Server) renew(r *RenewRequest) *Response {
+	le, ok := s.leases[r.Lease]
+	if !ok {
+		return errorf("grm: renew: unknown lease %d", r.Lease)
+	}
+	if s.leaseTTL > 0 {
+		le.expires = s.clock.Now().Add(s.leaseTTL)
+		s.appendLocked(&store.Record{Kind: store.KindRenew, Lease: r.Lease, Expires: expiryUnix(le.expires)})
+	}
+	return &Response{Renew: &RenewReply{TTL: s.leaseTTL}}
+}
+
+// creditLocked returns takes to the availability view, capped by the last
+// reported capacities. Callers hold s.mu.
+func (s *Server) creditLocked(takes []float64) {
+	for i, take := range takes {
+		if i >= len(s.avail) {
+			break
+		}
+		s.avail[i] += take
+		if s.avail[i] > s.reported[i] {
+			s.avail[i] = s.reported[i]
+		}
+	}
+	s.epoch++
+}
+
+// reaper periodically returns expired leases to the pool (and repays their
+// federation borrows) until the server closes.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	every := s.reapEvery
+	clock := s.clock
+	s.mu.Unlock()
+	t := clock.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case now := <-t.C():
+			s.reapExpired(now)
+		}
+	}
+}
+
+// Reap synchronously returns every lease expired at the current clock
+// reading, exactly as the background reaper would. The deterministic
+// cluster runner calls it after advancing a virtual clock so expiry
+// happens at a known point in its schedule instead of whenever the reaper
+// goroutine wakes. It reports how many leases were reclaimed.
+func (s *Server) Reap() int {
+	return s.reapExpired(s.clock.Now())
+}
+
+// reapExpired collects every lease past its expiry, credits its takes
+// back, and repays parent leases outside the lock.
+func (s *Server) reapExpired(now time.Time) int {
+	s.mu.Lock()
+	var repay []*lease
+	reaped := 0
+	for token, le := range s.leases {
+		if le.expires.IsZero() || now.Before(le.expires) {
+			continue
+		}
+		delete(s.leases, token)
+		s.creditLocked(le.takes)
+		reaped++
+		s.appendLocked(&store.Record{Kind: store.KindExpire, Lease: token, ParentLease: le.parentLease})
+		if le.parentLease != 0 && le.parentLink != nil {
+			s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: le.parentLease})
+			repay = append(repay, le)
+		}
+		s.logger.Printf("grm: lease %d expired, takes returned to pool", token)
+	}
+	s.mu.Unlock()
+	for _, le := range repay {
+		if err := le.parentLink.repay(le.parentLease); err != nil {
+			s.logger.Printf("grm: reaper: repaying parent lease %d: %v", le.parentLease, err)
+		}
+	}
+	return reaped
+}
+
+func (s *Server) caps() *Response {
+	planner, err := s.currentPlanner()
+	if err != nil {
+		return errorf("grm: caps: %v", err)
+	}
+	v := append([]float64(nil), s.avail...)
+	return &Response{Caps: &CapsReply{
+		Available:  v,
+		Capacities: planner.Capacities(v),
+	}}
+}

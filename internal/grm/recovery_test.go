@@ -1,0 +1,264 @@
+package grm
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// driveWorkload runs a representative mix of transitions through the
+// dispatch table: registrations, agreements, reports, allocations, a
+// release, a revocation, and a renewal. It returns the tokens of the
+// leases still outstanding.
+func driveWorkload(t *testing.T, s *Server) []int {
+	t.Helper()
+	must := func(resp *Response) *Response {
+		t.Helper()
+		if resp.Err != "" {
+			t.Fatalf("dispatch: %s", resp.Err)
+		}
+		return resp
+	}
+	for _, n := range []struct {
+		name string
+		cap  float64
+	}{{"A", 100}, {"B", 80}, {"C", 60}} {
+		must(s.dispatch(&Request{Register: &RegisterRequest{Name: n.name, Capacity: n.cap}}))
+	}
+	must(s.dispatch(&Request{Share: &ShareRequest{From: 1, To: 0, Fraction: 0.5}}))
+	must(s.dispatch(&Request{Share: &ShareRequest{From: 2, To: 0, Quantity: 20}}))
+	tick := must(s.dispatch(&Request{Share: &ShareRequest{From: 0, To: 2, Fraction: 0.25}})).Share.Ticket
+	must(s.dispatch(&Request{Report: &ReportRequest{Principal: 1, Available: 70}}))
+
+	var leases []int
+	for _, a := range []struct {
+		p   int
+		amt float64
+	}{{0, 120}, {2, 30}, {1, 15}} {
+		resp := must(s.dispatch(&Request{Alloc: &AllocRequest{Principal: a.p, Amount: a.amt}}))
+		leases = append(leases, resp.Alloc.Lease)
+	}
+	must(s.dispatch(&Request{Release: &ReleaseRequest{Lease: leases[1]}}))
+	leases = append(leases[:1], leases[2:]...)
+	must(s.dispatch(&Request{Revoke: &RevokeRequest{Ticket: tick}}))
+	must(s.dispatch(&Request{Report: &ReportRequest{Principal: 0, Available: 90}}))
+	if s.leaseTTL > 0 {
+		must(s.dispatch(&Request{Renew: &RenewRequest{Lease: leases[0]}}))
+	}
+	return leases
+}
+
+// statusJSON renders a server's status for byte-for-byte comparison.
+func statusJSON(t *testing.T, s *Server) string {
+	t.Helper()
+	st, err := s.Status()
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// leasesEqual asserts the recovered server holds the same leases, with
+// the same takes and expiry stamps, as the original.
+func leasesEqual(t *testing.T, want, got *Server) {
+	t.Helper()
+	want.mu.Lock()
+	got.mu.Lock()
+	defer want.mu.Unlock()
+	defer got.mu.Unlock()
+	if len(want.leases) != len(got.leases) {
+		t.Fatalf("recovered %d leases, want %d", len(got.leases), len(want.leases))
+	}
+	for token, wle := range want.leases {
+		gle, ok := got.leases[token]
+		if !ok {
+			t.Fatalf("lease %d missing after recovery", token)
+		}
+		for i := range wle.takes {
+			if gle.takes[i] != wle.takes[i] {
+				t.Fatalf("lease %d take[%d] = %v, want %v", token, i, gle.takes[i], wle.takes[i])
+			}
+		}
+		if !gle.expires.Equal(wle.expires) {
+			t.Fatalf("lease %d expires %v, want %v", token, gle.expires, wle.expires)
+		}
+		if gle.parentLease != wle.parentLease {
+			t.Fatalf("lease %d parent lease %d, want %d", token, gle.parentLease, wle.parentLease)
+		}
+	}
+	if got.nextLease != want.nextLease {
+		t.Fatalf("recovered nextLease %d, want %d", got.nextLease, want.nextLease)
+	}
+}
+
+func TestRecoverReplaysLog(t *testing.T) {
+	wal := store.NewMemLog()
+	s := NewServer(core.Config{}, nil)
+	s.SetLog(wal)
+	driveWorkload(t, s)
+	want := statusJSON(t, s)
+
+	r := NewServer(core.Config{}, nil)
+	if err := r.Recover(wal); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := statusJSON(t, r); got != want {
+		t.Fatalf("recovered status\n %s\nwant\n %s", got, want)
+	}
+	leasesEqual(t, s, r)
+
+	// The recovered server keeps serving: the next lease token continues
+	// the sequence instead of reusing a replayed one.
+	resp := r.dispatch(&Request{Alloc: &AllocRequest{Principal: 1, Amount: 5}})
+	if resp.Err != "" {
+		t.Fatalf("alloc after recovery: %s", resp.Err)
+	}
+	s.mu.Lock()
+	wantNext := s.nextLease
+	s.mu.Unlock()
+	if resp.Alloc.Lease != wantNext {
+		t.Fatalf("post-recovery lease %d, want %d", resp.Alloc.Lease, wantNext)
+	}
+}
+
+func TestRecoverFromCompactedLog(t *testing.T) {
+	wal := store.NewMemLog()
+	s := NewServer(core.Config{}, nil)
+	s.SetLog(wal)
+	leases := driveWorkload(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := wal.Len(); n != 1 {
+		t.Fatalf("compacted log holds %d records, want 1", n)
+	}
+	// Transitions after the compaction land on the tail and must replay
+	// on top of the snapshot.
+	if resp := s.dispatch(&Request{Release: &ReleaseRequest{Lease: leases[0]}}); resp.Err != "" {
+		t.Fatalf("release: %s", resp.Err)
+	}
+	if resp := s.dispatch(&Request{Share: &ShareRequest{From: 0, To: 1, Quantity: 5}}); resp.Err != "" {
+		t.Fatalf("share: %s", resp.Err)
+	}
+	want := statusJSON(t, s)
+
+	r := NewServer(core.Config{}, nil)
+	if err := r.Recover(wal); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := statusJSON(t, r); got != want {
+		t.Fatalf("recovered status\n %s\nwant\n %s", got, want)
+	}
+	leasesEqual(t, s, r)
+}
+
+func TestRecoverFileLog(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := store.OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(core.Config{}, nil)
+	s.SetLog(wal)
+	driveWorkload(t, s)
+	want := statusJSON(t, s)
+	if err := s.Close(); err != nil { // flushes the WAL
+		t.Fatalf("Close: %v", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := store.OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	r := NewServer(core.Config{}, nil)
+	if err := r.Recover(reopened); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := statusJSON(t, r); got != want {
+		t.Fatalf("recovered status\n %s\nwant\n %s", got, want)
+	}
+	leasesEqual(t, s, r)
+}
+
+func TestRecoverLeaseExpiry(t *testing.T) {
+	vc := vclock.NewVirtual(time.Unix(1_000_000_000, 0))
+	wal := store.NewMemLog()
+	s := NewServer(core.Config{}, nil)
+	s.SetClock(vc)
+	s.SetLeaseTTL(time.Minute)
+	s.SetLog(wal)
+	driveWorkload(t, s)
+
+	r := NewServer(core.Config{}, nil)
+	r.SetClock(vc)
+	r.SetLeaseTTL(time.Minute)
+	if err := r.Recover(wal); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	leasesEqual(t, s, r)
+	// The recovered expiry stamps still fire on the shared clock.
+	vc.Advance(2 * time.Minute)
+	if reaped := r.Reap(); reaped != 2 {
+		t.Fatalf("reaped %d recovered leases, want 2", reaped)
+	}
+}
+
+func TestRecoverRequiresPristineServer(t *testing.T) {
+	wal := store.NewMemLog()
+	s := NewServer(core.Config{}, nil)
+	s.SetLog(wal)
+	driveWorkload(t, s)
+
+	if err := s.Recover(store.NewMemLog()); err == nil {
+		t.Fatal("Recover on a server with a log attached succeeded")
+	}
+	used := NewServer(core.Config{}, nil)
+	if resp := used.dispatch(&Request{Register: &RegisterRequest{Name: "X", Capacity: 1}}); resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if err := used.Recover(wal); err == nil {
+		t.Fatal("Recover on a server with registered principals succeeded")
+	}
+}
+
+func TestRecoverSurfacesUnresolvedBorrows(t *testing.T) {
+	// A lease that carried a federation borrow has no live parent link
+	// after a restart; recovery must keep the parent lease token visible.
+	wal := store.NewMemLog()
+	recs := []*store.Record{
+		{Seq: 1, Kind: store.KindRegister, Principal: 0, Name: "A", Capacity: 10},
+		{Seq: 2, Kind: store.KindBorrow, Principal: 0, Amount: 5, ParentLease: 7},
+		{Seq: 3, Kind: store.KindAlloc, Principal: 0, Amount: 15,
+			Takes: []float64{10}, Lease: 1, ParentLease: 7},
+	}
+	for _, rec := range recs {
+		if err := wal.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewServer(core.Config{}, nil)
+	if err := r.Recover(wal); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	borrows := r.UnresolvedBorrows()
+	if len(borrows) != 1 || borrows[0] != 7 {
+		t.Fatalf("UnresolvedBorrows = %v, want [7]", borrows)
+	}
+	// Releasing the recovered lease credits locally and does not attempt
+	// a parent round trip (there is no link to make one through).
+	if resp := r.dispatch(&Request{Release: &ReleaseRequest{Lease: 1}}); resp.Err != "" {
+		t.Fatalf("release: %s", resp.Err)
+	}
+}

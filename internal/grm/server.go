@@ -1,19 +1,34 @@
 package grm
 
 import (
-	"encoding/gob"
-	"errors"
+	"bytes"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/grm/transport"
+	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/vclock"
 )
+
+// The GRM is split into three layers:
+//
+//	transport (internal/grm/transport)  — connections, gob framing, deadlines
+//	service   (this package)            — handlers, the batched alloc pipeline
+//	state     (internal/store)          — the write-ahead log and snapshots
+//
+// This file is the service layer's lifecycle: construction, configuration,
+// Serve/Close, and the dispatch table the transport drives. The request
+// handlers live in handlers.go, the allocation pipeline in alloc.go, and
+// the durability layer's integration (recording, recovery, compaction) in
+// recovery.go.
 
 // lease is one outstanding allocation: the per-principal takes to return
 // on release, an optional expiry, and the parent GRM's lease token when
@@ -23,6 +38,14 @@ type lease struct {
 	expires     time.Time   // zero when leases do not expire
 	parentLink  *parentLink // federation link the borrow came through; nil when local
 	parentLease int         // parent lease token to repay; 0 when nothing borrowed
+}
+
+// shareInfo mirrors one wire-created agreement so compacted snapshots can
+// carry the full ordered share history (ticket tokens are indexes into it).
+type shareInfo struct {
+	from, to int
+	fraction float64
+	quantity float64
 }
 
 // Server is the Global Resource Manager: it stores sharing agreements in a
@@ -35,6 +58,7 @@ type Server struct {
 	sys       *agreement.System
 	resources []agreement.ResourceID
 	tickets   []agreement.TicketID // ticket token -> system ticket
+	shareHist []shareInfo          // ticket token -> wire parameters
 	avail     []float64
 	reported  []float64 // last reported capacity per principal (release cap)
 	names     []string
@@ -43,7 +67,6 @@ type Server struct {
 	attaching bool // AttachParent reservation held across the parent dial
 	leases    map[int]*lease
 	nextLease int
-	conns     map[net.Conn]struct{} // live LRM connections, closed on Close
 
 	// epoch counts state changes that could invalidate an in-flight plan:
 	// availability edits, agreement edits, and lease commits. alloc
@@ -55,18 +78,35 @@ type Server struct {
 	// optimistic solve; tests use it to mutate state and force a conflict.
 	testHookUnlocked func()
 
+	// Durability (recovery.go): every committed transition is appended to
+	// log as a store.Record with a strictly increasing seq. nil = volatile.
+	log          store.Log
+	seq          uint64
+	declaredSnap []byte // preloaded agreement snapshot JSON, for compaction
+
 	// clock drives the lease lifecycle (expiry stamps, the reaper's
 	// ticker). Real time by default; the model-based testing harness and
 	// the lease tests inject a vclock.Virtual for determinism. Connection
 	// deadlines stay on real time — they are compared by the kernel.
 	clock vclock.Clock
 
-	leaseTTL     time.Duration // 0 = leases never expire
-	reapEvery    time.Duration
-	idleTimeout  time.Duration // max quiet time on an LRM connection; 0 = none
-	writeTimeout time.Duration // per-response write deadline; 0 = none
+	leaseTTL  time.Duration // 0 = leases never expire
+	reapEvery time.Duration
 
-	listener   net.Listener
+	// Batched allocation pipeline (alloc.go): the transport's connection
+	// goroutines enqueue alloc jobs, one scheduler goroutine coalesces
+	// them into PlanBatch solves and replies per request.
+	allocQ    chan *allocJob
+	schedOn   atomic.Bool // scheduler goroutine running (Serve started it)
+	schedOnce sync.Once
+
+	mQueueDepth  metrics.Gauge   // current admission-queue depth
+	mBatches     metrics.Counter // batches committed
+	mBatchedReqs metrics.Counter // alloc requests served through batches
+	mMaxBatch    metrics.Gauge   // largest batch so far (scheduler-only writer)
+	mBatchPlanNS metrics.Counter // cumulative nanoseconds spent in PlanBatch
+
+	tr         *transport.Server
 	wg         sync.WaitGroup
 	closed     chan struct{}
 	closeOnce  sync.Once
@@ -83,17 +123,22 @@ func NewServer(cfg core.Config, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{
-		cfg:          cfg,
-		sys:          agreement.NewSystem(),
-		closed:       make(chan struct{}),
-		logger:       logger,
-		leases:       map[int]*lease{},
-		nextLease:    1,
-		conns:        map[net.Conn]struct{}{},
-		writeTimeout: 30 * time.Second,
-		clock:        vclock.Real{},
+	s := &Server{
+		cfg:       cfg,
+		sys:       agreement.NewSystem(),
+		closed:    make(chan struct{}),
+		logger:    logger,
+		leases:    map[int]*lease{},
+		nextLease: 1,
+		allocQ:    make(chan *allocJob, allocQueueCap),
+		clock:     vclock.Real{},
 	}
+	s.tr = transport.NewServer(
+		func() any { return &Request{} },
+		transport.HandlerFunc(func(req any) any { return s.dispatch(req.(*Request)) }),
+		transport.Options{WriteTimeout: 30 * time.Second, Logger: logger},
+	)
+	return s
 }
 
 // SetClock replaces the clock driving lease expiry and the reaper.
@@ -129,16 +174,15 @@ func (s *Server) SetLeaseTTL(ttl time.Duration) {
 // quiet time between requests on an LRM connection (0 = unlimited), write
 // the per-response write deadline (0 = none).
 func (s *Server) SetTimeouts(idle, write time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.idleTimeout, s.writeTimeout = idle, write
+	s.tr.SetTimeouts(idle, write)
 }
 
 // Serve accepts LRM connections on l until Close is called. It always
-// returns a non-nil error (net.ErrClosed after a clean shutdown).
+// returns a non-nil error (net.ErrClosed after a clean shutdown). Serving
+// starts the lease reaper (when a TTL is configured) and the batch
+// scheduler that drains the allocation admission queue.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	s.listener = l
 	ttl := s.leaseTTL
 	s.mu.Unlock()
 	if ttl > 0 {
@@ -147,37 +191,12 @@ func (s *Server) Serve(l net.Listener) error {
 			go s.reaper()
 		})
 	}
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			select {
-			case <-s.closed:
-				return net.ErrClosed
-			default:
-				return fmt.Errorf("grm: accept: %w", err)
-			}
-		}
-		s.mu.Lock()
-		select {
-		case <-s.closed:
-			// Raced with Close after it snapshotted live connections:
-			// drop the straggler rather than leak a handler past Close.
-			s.mu.Unlock()
-			conn.Close()
-			return net.ErrClosed
-		default:
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
+	s.schedOnce.Do(func() {
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
-		}()
-	}
+		s.schedOn.Store(true)
+		go s.scheduler()
+	})
+	return s.tr.Serve(l)
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -190,35 +209,25 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Addr returns the listener address (once Serve has been called).
-func (s *Server) Addr() net.Addr {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.listener == nil {
-		return nil
-	}
-	return s.listener.Addr()
-}
+func (s *Server) Addr() net.Addr { return s.tr.Addr() }
 
-// Close stops the accept loop, severs live LRM connections, and waits for
-// in-flight handlers and the lease reaper. Safe to call more than once;
-// repeated calls return the first call's error.
+// Close stops the accept loop, severs live LRM connections, waits for
+// in-flight handlers, the batch scheduler, and the lease reaper, then
+// flushes the write-ahead log. Safe to call more than once; repeated
+// calls return the first call's error.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.mu.Lock()
-		l := s.listener
-		conns := make([]net.Conn, 0, len(s.conns))
-		for c := range s.conns {
-			conns = append(conns, c)
-		}
-		s.mu.Unlock()
-		if l != nil {
-			s.closeErr = l.Close()
-		}
-		for _, c := range conns {
-			c.Close()
-		}
+		s.closeErr = s.tr.Close()
 		s.wg.Wait()
+		s.mu.Lock()
+		lg := s.log
+		s.mu.Unlock()
+		if lg != nil {
+			if err := lg.Sync(); err != nil {
+				s.logger.Printf("grm: close: wal sync: %v", err)
+			}
+		}
 	})
 	return s.closeErr
 }
@@ -235,12 +244,28 @@ func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
 	for _, f := range findings {
 		s.logger.Printf("grm: snapshot %s", f)
 	}
+	var raw bytes.Buffer
+	if err := snap.WriteJSON(&raw); err != nil {
+		return fmt.Errorf("grm: LoadSnapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.installSnapshotLocked(snap, raw.Bytes()); err != nil {
+		return err
+	}
+	s.appendLocked(&store.Record{Kind: store.KindSnapshotLoad, Snapshot: raw.Bytes()})
+	s.logger.Printf("grm: loaded snapshot with %d principals", len(s.names))
+	return nil
+}
+
+// installSnapshotLocked restores the agreement system from a validated
+// snapshot and seeds the books from its declared capacities. raw is the
+// snapshot's JSON, kept for compaction. Callers hold s.mu.
+func (s *Server) installSnapshotLocked(snap *agreement.Snapshot, raw []byte) error {
 	sys, principals, err := snap.Restore()
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.names) > 0 {
 		return fmt.Errorf("grm: LoadSnapshot: principals already registered")
 	}
@@ -258,45 +283,16 @@ func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
 	}
 	copy(s.avail, m.V)
 	copy(s.reported, m.V)
+	s.declaredSnap = append([]byte(nil), raw...)
 	s.planner = nil
 	s.epoch++
-	s.logger.Printf("grm: loaded snapshot with %d principals", len(principals))
 	return nil
 }
 
-// handle runs one LRM connection's request/response loop.
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		s.mu.Lock()
-		idle, write := s.idleTimeout, s.writeTimeout
-		s.mu.Unlock()
-		if idle > 0 {
-			conn.SetReadDeadline(time.Now().Add(idle))
-		}
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) {
-				s.logger.Printf("grm: decode from %s: %v", conn.RemoteAddr(), err)
-			}
-			return
-		}
-		resp := s.dispatch(&req)
-		if write > 0 {
-			conn.SetWriteDeadline(time.Now().Add(write))
-		}
-		if err := enc.Encode(resp); err != nil {
-			s.logger.Printf("grm: encode to %s: %v", conn.RemoteAddr(), err)
-			return
-		}
-	}
-}
-
-// dispatch serves one request. Allocation and release manage the lock
-// themselves (they may perform a parent-GRM round trip, which must not be
-// made while holding it); everything else runs under one critical section.
+// dispatch serves one decoded request envelope. Allocation and release
+// manage the lock themselves (allocation runs through the batching
+// pipeline, release may perform a parent-GRM round trip); everything else
+// runs under one critical section.
 func (s *Server) dispatch(req *Request) *Response {
 	if req.Alloc != nil {
 		return s.alloc(req.Alloc)
@@ -326,345 +322,6 @@ func (s *Server) dispatch(req *Request) *Response {
 	default:
 		return errorf("grm: empty request envelope")
 	}
-}
-
-func (s *Server) register(r *RegisterRequest) *Response {
-	if r.Name == "" {
-		return errorf("grm: register: empty name")
-	}
-	if r.Capacity < 0 {
-		return errorf("grm: register: negative capacity %g", r.Capacity)
-	}
-	// An LRM whose name was declared by a preloaded agreements snapshot
-	// binds to its declared principal instead of creating a new one.
-	for i, name := range s.names {
-		if name == r.Name {
-			s.avail[i] = r.Capacity
-			if r.Capacity > s.reported[i] {
-				s.reported[i] = r.Capacity
-			}
-			s.epoch++
-			s.logger.Printf("grm: %q re-attached as principal %d (capacity %g)", r.Name, i, r.Capacity)
-			return &Response{Register: &RegisterReply{Principal: i}}
-		}
-	}
-	pid := s.sys.AddPrincipal(r.Name)
-	rid, err := s.sys.AddResource(r.Name, agreement.General, pid, r.Capacity)
-	if err != nil {
-		return errorf("grm: register: %v", err)
-	}
-	s.resources = append(s.resources, rid)
-	s.avail = append(s.avail, r.Capacity)
-	s.reported = append(s.reported, r.Capacity)
-	s.names = append(s.names, r.Name)
-	s.planner = nil // structure changed
-	s.epoch++
-	s.logger.Printf("grm: registered %q as principal %d (capacity %g)", r.Name, pid, r.Capacity)
-	return &Response{Register: &RegisterReply{Principal: int(pid)}}
-}
-
-func (s *Server) report(r *ReportRequest) *Response {
-	if err := s.checkPrincipal(r.Principal); err != nil {
-		return errorf("grm: report: %v", err)
-	}
-	if r.Available < 0 {
-		return errorf("grm: report: negative availability %g", r.Available)
-	}
-	s.avail[r.Principal] = r.Available
-	if r.Available > s.reported[r.Principal] {
-		s.reported[r.Principal] = r.Available
-	}
-	s.epoch++
-	return &Response{Report: &ReportReply{}}
-}
-
-func (s *Server) share(r *ShareRequest) *Response {
-	if err := s.checkPrincipal(r.From); err != nil {
-		return errorf("grm: share: %v", err)
-	}
-	if err := s.checkPrincipal(r.To); err != nil {
-		return errorf("grm: share: %v", err)
-	}
-	from := s.sys.CurrencyOf(agreement.PrincipalID(r.From))
-	to := s.sys.CurrencyOf(agreement.PrincipalID(r.To))
-	var tid agreement.TicketID
-	var err error
-	switch {
-	case r.Fraction > 0 && r.Quantity == 0:
-		if r.Fraction > 1 {
-			return errorf("grm: share: fraction %g exceeds 1", r.Fraction)
-		}
-		units := r.Fraction * s.sys.Currency(from).FaceValue
-		tid, err = s.sys.ShareRelative(from, to, units)
-	case r.Quantity > 0 && r.Fraction == 0:
-		tid, err = s.sys.ShareAbsolute(from, to, agreement.General, r.Quantity, agreement.Sharing)
-	default:
-		return errorf("grm: share: exactly one of Fraction or Quantity must be positive")
-	}
-	if err != nil {
-		return errorf("grm: share: %v", err)
-	}
-	s.tickets = append(s.tickets, tid)
-	s.planner = nil
-	s.epoch++
-	s.logger.Printf("grm: agreement %d -> %d (fraction %g, quantity %g)", r.From, r.To, r.Fraction, r.Quantity)
-	return &Response{Share: &ShareReply{Ticket: len(s.tickets) - 1}}
-}
-
-func (s *Server) revoke(r *RevokeRequest) *Response {
-	if r.Ticket < 0 || r.Ticket >= len(s.tickets) {
-		return errorf("grm: revoke: unknown ticket %d", r.Ticket)
-	}
-	s.sys.Revoke(s.tickets[r.Ticket])
-	s.planner = nil
-	s.epoch++
-	return &Response{Revoke: &ReportReply{}}
-}
-
-// maxPlanConflicts bounds the optimistic re-solves in alloc before it
-// falls back to planning under the lock for guaranteed progress.
-const maxPlanConflicts = 8
-
-// alloc plans and commits an allocation. The LP solve runs OUTSIDE the
-// lock: alloc snapshots the planner, the availability vector, and the
-// state epoch, releases the lock, solves, then re-acquires and commits
-// only if the epoch is unchanged. If another request moved the epoch in
-// the meantime the stale plan is discarded and the solve repeated; after
-// maxPlanConflicts discards it plans while holding the lock, which cannot
-// conflict. This keeps slow solves (large agreement graphs) from stalling
-// every other LRM request behind the mutex.
-//
-// When local capacity falls short and a parent GRM is attached, the lock
-// is likewise released around the parent's network round trip, then the
-// plan is retried against the then-current availability with the borrowed
-// capacity credited to the requester. The parent's lease token is recorded
-// on the local lease so Release (or the reaper) repays the borrow; if the
-// retried plan fails, the borrow is repaid immediately — a failed
-// allocation must leave the federation's books untouched.
-func (s *Server) alloc(r *AllocRequest) *Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkPrincipal(r.Principal); err != nil {
-		return errorf("grm: alloc: %v", err)
-	}
-	if r.Amount < 0 {
-		return errorf("grm: alloc: negative amount %g", r.Amount)
-	}
-	var borrowed float64
-	var parentLease int
-	var borrowedFrom *parentLink
-	borrowTried := false
-	// repay undoes a pending federation borrow on a non-commit exit path.
-	// Called with s.mu held; drops it around the parent round trip.
-	repay := func() {
-		if parentLease == 0 {
-			return
-		}
-		link, token := borrowedFrom, parentLease
-		parentLease = 0
-		s.mu.Unlock()
-		if err := link.repay(token); err != nil {
-			s.logger.Printf("grm: alloc: repaying parent lease %d: %v", token, err)
-		}
-		s.mu.Lock()
-	}
-	conflicts := 0
-	for {
-		planner, err := s.currentPlanner()
-		if err != nil {
-			repay()
-			return errorf("grm: alloc: %v", err)
-		}
-		// Snapshot what the solve needs. planner is immutable and v a
-		// private copy, so the solve itself needs no lock.
-		v := append([]float64(nil), s.avail...)
-		v[r.Principal] += borrowed
-		epoch := s.epoch
-		locked := conflicts >= maxPlanConflicts
-		if !locked {
-			hook := s.testHookUnlocked
-			s.mu.Unlock()
-			if hook != nil {
-				hook()
-			}
-		}
-		plan, err := planner.Plan(v, r.Principal, r.Amount)
-		if !locked {
-			s.mu.Lock()
-		}
-		if errors.Is(err, core.ErrInsufficient) && s.parent != nil && !borrowTried {
-			borrowTried = true
-			caps := planner.Capacities(v)
-			deficit := r.Amount - caps[r.Principal]
-			parent := s.parent
-			s.mu.Unlock()
-			got, token, berr := parent.borrow(deficit)
-			s.mu.Lock()
-			if berr != nil {
-				return errorf("grm: alloc: local capacity %g short of %g and parent refused: %v",
-					caps[r.Principal], r.Amount, berr)
-			}
-			borrowed, parentLease, borrowedFrom = got, token, parent
-			continue
-		}
-		if err != nil {
-			repay()
-			return errorf("grm: alloc: %v", err)
-		}
-		if !locked && s.epoch != epoch {
-			// Availability or agreements moved while we solved: the plan
-			// may overdraw sources. Discard it and re-solve.
-			conflicts++
-			s.planConflicts++
-			continue
-		}
-		// Commit the GRM's availability view; LRMs overwrite it with
-		// their next reports, and Release returns the lease.
-		for i, take := range plan.Take {
-			s.avail[i] -= take
-			if s.avail[i] < 0 {
-				s.avail[i] = 0
-			}
-		}
-		s.epoch++
-		token := s.nextLease
-		s.nextLease++
-		le := &lease{
-			takes:       append([]float64(nil), plan.Take...),
-			parentLink:  borrowedFrom,
-			parentLease: parentLease,
-		}
-		if s.leaseTTL > 0 {
-			le.expires = s.clock.Now().Add(s.leaseTTL)
-		}
-		s.leases[token] = le
-		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: token, TTL: s.leaseTTL}}
-	}
-}
-
-// PlanConflicts reports how many optimistic solves have been discarded
-// and retried because the server state changed mid-solve.
-func (s *Server) PlanConflicts() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.planConflicts
-}
-
-// release returns a lease's takes to the availability view, capped by
-// each principal's last reported capacity (fresh reports remain ground
-// truth), and repays the parent GRM when the lease carried a federation
-// borrow. The parent round trip happens outside the lock.
-func (s *Server) release(r *ReleaseRequest) *Response {
-	s.mu.Lock()
-	le, ok := s.leases[r.Lease]
-	if !ok {
-		s.mu.Unlock()
-		return errorf("grm: release: unknown lease %d", r.Lease)
-	}
-	delete(s.leases, r.Lease)
-	s.creditLocked(le.takes)
-	s.mu.Unlock()
-	if le.parentLease != 0 && le.parentLink != nil {
-		if err := le.parentLink.repay(le.parentLease); err != nil {
-			s.logger.Printf("grm: release: repaying parent lease %d: %v", le.parentLease, err)
-		}
-	}
-	return &Response{Release: &ReportReply{}}
-}
-
-// renew pushes a live lease's expiry out by the configured TTL.
-func (s *Server) renew(r *RenewRequest) *Response {
-	le, ok := s.leases[r.Lease]
-	if !ok {
-		return errorf("grm: renew: unknown lease %d", r.Lease)
-	}
-	if s.leaseTTL > 0 {
-		le.expires = s.clock.Now().Add(s.leaseTTL)
-	}
-	return &Response{Renew: &RenewReply{TTL: s.leaseTTL}}
-}
-
-// creditLocked returns takes to the availability view, capped by the last
-// reported capacities. Callers hold s.mu.
-func (s *Server) creditLocked(takes []float64) {
-	for i, take := range takes {
-		if i >= len(s.avail) {
-			break
-		}
-		s.avail[i] += take
-		if s.avail[i] > s.reported[i] {
-			s.avail[i] = s.reported[i]
-		}
-	}
-	s.epoch++
-}
-
-// reaper periodically returns expired leases to the pool (and repays their
-// federation borrows) until the server closes.
-func (s *Server) reaper() {
-	defer s.wg.Done()
-	s.mu.Lock()
-	every := s.reapEvery
-	clock := s.clock
-	s.mu.Unlock()
-	t := clock.NewTicker(every)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.closed:
-			return
-		case now := <-t.C():
-			s.reapExpired(now)
-		}
-	}
-}
-
-// Reap synchronously returns every lease expired at the current clock
-// reading, exactly as the background reaper would. The deterministic
-// cluster runner calls it after advancing a virtual clock so expiry
-// happens at a known point in its schedule instead of whenever the reaper
-// goroutine wakes. It reports how many leases were reclaimed.
-func (s *Server) Reap() int {
-	return s.reapExpired(s.clock.Now())
-}
-
-// reapExpired collects every lease past its expiry, credits its takes
-// back, and repays parent leases outside the lock.
-func (s *Server) reapExpired(now time.Time) int {
-	s.mu.Lock()
-	var repay []*lease
-	reaped := 0
-	for token, le := range s.leases {
-		if le.expires.IsZero() || now.Before(le.expires) {
-			continue
-		}
-		delete(s.leases, token)
-		s.creditLocked(le.takes)
-		reaped++
-		if le.parentLease != 0 && le.parentLink != nil {
-			repay = append(repay, le)
-		}
-		s.logger.Printf("grm: lease %d expired, takes returned to pool", token)
-	}
-	s.mu.Unlock()
-	for _, le := range repay {
-		if err := le.parentLink.repay(le.parentLease); err != nil {
-			s.logger.Printf("grm: reaper: repaying parent lease %d: %v", le.parentLease, err)
-		}
-	}
-	return reaped
-}
-
-func (s *Server) caps() *Response {
-	planner, err := s.currentPlanner()
-	if err != nil {
-		return errorf("grm: caps: %v", err)
-	}
-	v := append([]float64(nil), s.avail...)
-	return &Response{Caps: &CapsReply{
-		Available:  v,
-		Capacities: planner.Capacities(v),
-	}}
 }
 
 // currentPlanner rebuilds the allocator if agreements changed. Callers

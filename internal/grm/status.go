@@ -19,6 +19,17 @@ type Status struct {
 	// retried because the server state changed while the LP ran outside
 	// the lock.
 	PlanConflicts uint64 `json:"plan_conflicts"`
+	// Batches and BatchedRequests describe the allocation pipeline:
+	// how many PlanBatch commits ran and how many requests they served.
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+	// MaxBatch is the largest batch coalesced so far.
+	MaxBatch int `json:"max_batch"`
+	// BatchPlanNanos is the cumulative wall time spent processing
+	// batches (solve plus commit), for mean-batch-latency math.
+	BatchPlanNanos int64 `json:"batch_plan_nanos"`
+	// QueueDepth is the current admission-queue backlog.
+	QueueDepth int `json:"queue_depth"`
 }
 
 // PrincipalStatus is one principal's row in the status view.
@@ -36,7 +47,15 @@ type PrincipalStatus struct {
 func (s *Server) Status() (*Status, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := &Status{Leases: len(s.leases), PlanConflicts: s.planConflicts}
+	out := &Status{
+		Leases:          len(s.leases),
+		PlanConflicts:   s.planConflicts,
+		Batches:         s.mBatches.Value(),
+		BatchedRequests: s.mBatchedReqs.Value(),
+		MaxBatch:        int(s.mMaxBatch.Value()),
+		BatchPlanNanos:  s.mBatchPlanNS.Value(),
+		QueueDepth:      len(s.allocQ),
+	}
 	for _, tid := range s.tickets {
 		if !s.sys.Ticket(tid).Revoked {
 			out.Agreements++

@@ -1,0 +1,202 @@
+// Package transport owns the GRM's connection plane: accepting LRM
+// connections, tracking them for shutdown, framing requests and
+// responses as gob envelopes, and applying idle/write deadlines. It is
+// the bottom layer of the GRM's three-layer split (transport → service →
+// state): the service layer above it sees only decoded request values
+// and never touches a net.Conn, which is what lets it hold its state
+// mutex without ever blocking on the network (the invariant the
+// sharingvet lockedio analyzer enforces).
+//
+// The package is protocol-agnostic: the request/response envelope types
+// are supplied by the caller through a factory and a Handler, so the
+// transport has no dependency on the grm package above it.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one decoded request envelope and returns the
+// response envelope to write back. Implementations must be safe for
+// concurrent use: every live connection drives the handler from its own
+// goroutine.
+type Handler interface {
+	Handle(req any) (resp any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req any) any
+
+// Handle calls f.
+func (f HandlerFunc) Handle(req any) any { return f(req) }
+
+// Options configures a transport server. Both deadlines may later be
+// changed at runtime with SetTimeouts.
+type Options struct {
+	// IdleTimeout is the maximum quiet time between requests on a
+	// connection; the connection is dropped when it elapses. 0 = none.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 = none.
+	WriteTimeout time.Duration
+	// Logger receives per-connection diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is the connection plane: one accept loop plus one
+// request/response goroutine per live connection. It owns every
+// net.Conn it accepts; the layers above never see one.
+type Server struct {
+	newReq  func() any // allocates a fresh request envelope to decode into
+	handler Handler
+	logger  *log.Logger
+
+	mu       sync.Mutex
+	idle     time.Duration
+	write    time.Duration
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer builds a transport server. newReq must return a pointer to a
+// zero request envelope for the decoder to fill; handler serves each
+// decoded request.
+func NewServer(newReq func() any, handler Handler, opts Options) *Server {
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		newReq:  newReq,
+		handler: handler,
+		logger:  logger,
+		idle:    opts.IdleTimeout,
+		write:   opts.WriteTimeout,
+		conns:   map[net.Conn]struct{}{},
+		closed:  make(chan struct{}),
+	}
+}
+
+// SetTimeouts changes the idle and write deadlines applied to every
+// connection from the next request on.
+func (t *Server) SetTimeouts(idle, write time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.idle, t.write = idle, write
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (t *Server) Addr() net.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listener == nil {
+		return nil
+	}
+	return t.listener.Addr()
+}
+
+// Serve accepts connections on l until Close. It always returns a
+// non-nil error (net.ErrClosed after a clean shutdown).
+func (t *Server) Serve(l net.Listener) error {
+	t.mu.Lock()
+	t.listener = l
+	t.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return net.ErrClosed
+			default:
+				return fmt.Errorf("transport: accept: %w", err)
+			}
+		}
+		t.mu.Lock()
+		select {
+		case <-t.closed:
+			// Raced with Close after it snapshotted live connections:
+			// drop the straggler rather than leak a handler past Close.
+			t.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		default:
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+			t.mu.Lock()
+			delete(t.conns, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the accept loop, severs live connections, and waits for
+// in-flight connection goroutines. Safe to call more than once; repeated
+// calls return the first call's error.
+func (t *Server) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.mu.Lock()
+		l := t.listener
+		conns := make([]net.Conn, 0, len(t.conns))
+		for c := range t.conns {
+			conns = append(conns, c)
+		}
+		t.mu.Unlock()
+		if l != nil {
+			t.closeErr = l.Close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		t.wg.Wait()
+	})
+	return t.closeErr
+}
+
+// serveConn runs one connection's strictly alternating request/response
+// loop: decode under the idle deadline, hand the envelope to the service
+// layer, write its reply under the write deadline.
+func (t *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		t.mu.Lock()
+		idle, write := t.idle, t.write
+		t.mu.Unlock()
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		req := t.newReq()
+		if err := dec.Decode(req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.logger.Printf("transport: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := t.handler.Handle(req)
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		}
+		if err := enc.Encode(resp); err != nil {
+			t.logger.Printf("transport: encode to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}

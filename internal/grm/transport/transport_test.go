@@ -1,0 +1,151 @@
+package transport_test
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grm/transport"
+)
+
+// echoReq/echoResp are a minimal envelope pair standing in for the GRM
+// protocol types.
+type echoReq struct {
+	N int
+}
+
+type echoResp struct {
+	N int
+}
+
+func startEcho(t *testing.T, opts transport.Options) (*transport.Server, string) {
+	t.Helper()
+	srv := transport.NewServer(
+		func() any { return &echoReq{} },
+		transport.HandlerFunc(func(req any) any {
+			return &echoResp{N: req.(*echoReq).N + 1}
+		}),
+		opts,
+	)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+func TestRequestResponseLoop(t *testing.T) {
+	_, addr := startEcho(t, transport.Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	for i := 0; i < 5; i++ {
+		if err := enc.Encode(&echoReq{N: i}); err != nil {
+			t.Fatal(err)
+		}
+		var resp echoResp
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.N != i+1 {
+			t.Fatalf("reply %d, want %d", resp.N, i+1)
+		}
+	}
+}
+
+func TestCloseUnblocksServeAndSeversConns(t *testing.T) {
+	srv := transport.NewServer(
+		func() any { return &echoReq{} },
+		transport.HandlerFunc(func(req any) any { return &echoResp{} }),
+		transport.Options{},
+	)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One exchange proves the connection is registered with the server.
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(&echoReq{}); err != nil {
+		t.Fatal(err)
+	}
+	var resp echoResp
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Errorf("Serve returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// The live connection must have been severed.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if err := dec.Decode(&resp); err == nil {
+		t.Error("connection still alive after Close")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestIdleTimeoutDropsQuietConn(t *testing.T) {
+	srv, addr := startEcho(t, transport.Options{IdleTimeout: 30 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing; the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("idle connection not dropped")
+	}
+	_ = srv
+}
+
+func TestAddrBeforeAndAfterServe(t *testing.T) {
+	srv := transport.NewServer(
+		func() any { return &echoReq{} },
+		transport.HandlerFunc(func(req any) any { return &echoResp{} }),
+		transport.Options{},
+	)
+	if srv.Addr() != nil {
+		t.Error("Addr non-nil before Serve")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Addr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Addr() == nil || !strings.HasPrefix(srv.Addr().String(), "127.0.0.1:") {
+		t.Errorf("Addr = %v, want the listener address", srv.Addr())
+	}
+}

@@ -1,6 +1,7 @@
 package modeltest
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grm"
 	"repro/internal/grm/faultnet"
+	"repro/internal/store"
 	"repro/internal/vclock"
 )
 
@@ -18,7 +20,8 @@ import (
 // grm.Server on a loopback listener, LRM clients dialing through
 // fault-injectable connections, and a seeded schedule of operations
 // (reports, allocations, releases, renewals, new agreements, connection
-// kills, virtual-clock advances).
+// kills, virtual-clock advances, and full GRM restarts recovering from
+// the write-ahead log).
 type ClusterOptions struct {
 	// Seed drives everything random: cluster size, capacities, the
 	// agreement graph, and the operation schedule.
@@ -139,14 +142,20 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 	rep := &ClusterReport{}
 
 	vc := vclock.NewVirtual(time.Unix(1_000_000_000, 0))
+	// The in-memory log is the run's durable medium: it survives the
+	// schedule's GRM restarts the way a WAL directory survives a crash.
+	wal := store.NewMemLog()
 	srv := grm.NewServer(core.Config{}, nil)
 	srv.SetClock(vc)
+	if err := srv.Recover(wal); err != nil {
+		return nil, fmt.Errorf("modeltest: cluster attach wal: %w", err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("modeltest: cluster listen: %w", err)
 	}
 	go srv.Serve(l)
-	defer srv.Close()
+	defer func() { srv.Close() }()
 	addr := l.Addr().String()
 
 	// Register the principals. Dialing (and the server accepting) before
@@ -231,6 +240,23 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 			}
 		}
 	}
+	// pingOnce proves the restarted server's accept loop is live: a
+	// completed request/response exchange means Serve already read the
+	// (still zero) lease TTL, so enabling the TTL afterwards keeps the
+	// background reaper off and expiry stays under the schedule's explicit
+	// Reap calls — same invariant as the initial dial-before-SetLeaseTTL.
+	pingOnce := func() error {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := gob.NewEncoder(c).Encode(&grm.Request{Ping: &grm.PingRequest{}}); err != nil {
+			return err
+		}
+		var resp grm.Response
+		return gob.NewDecoder(c).Decode(&resp)
+	}
 	fail := func(step int, op, format string, args ...any) *ClusterReport {
 		rep.Steps = step + 1
 		rep.Failure = &ClusterFailure{Seed: opts.Seed, Step: step, Op: op, Msg: fmt.Sprintf(format, args...)}
@@ -282,7 +308,7 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 		p := rng.Intn(n)
 		node := nodes[p]
 		var line string
-		switch op := rng.Intn(10); op {
+		switch op := rng.Intn(11); op {
 		case 0, 1, 2: // report
 			x := grid(rng.Float64() * node.capacity * 1.2)
 			reconnectEffects(p)
@@ -411,6 +437,39 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 				return fail(step, "advance", "server reaped %d leases at +%v, ledger expired %d", reaped, d, expired), nil
 			}
 			line = fmt.Sprintf("advance %v reaped=%d", d, reaped)
+
+		case 10: // kill the whole GRM and recover it from the WAL
+			compacted := rng.Intn(2) == 0
+			if compacted {
+				if err := srv.Compact(); err != nil {
+					return fail(step, "restart", "Compact: %v", err), nil
+				}
+			}
+			if err := srv.Close(); err != nil {
+				return fail(step, "restart", "Close: %v", err), nil
+			}
+			// Every live connection died with the server; each node's next
+			// RPC transparently reconnects (re-register + replay report).
+			for q := range nodes {
+				drainConns(q)
+				nodes[q].lastConn = nil
+				nodes[q].killed = true
+			}
+			srv = grm.NewServer(core.Config{}, nil)
+			srv.SetClock(vc)
+			if err := srv.Recover(wal); err != nil {
+				return fail(step, "restart", "Recover: %v", err), nil
+			}
+			l, err := net.Listen("tcp", addr)
+			if err != nil {
+				return fail(step, "restart", "relisten %s: %v", addr, err), nil
+			}
+			go srv.Serve(l)
+			if err := pingOnce(); err != nil {
+				return fail(step, "restart", "post-restart ping: %v", err), nil
+			}
+			srv.SetLeaseTTL(opts.TTL)
+			line = fmt.Sprintf("restart compact=%v leases=%d", compacted, len(ld.leases))
 		}
 
 		if err := checkBooks(); err != nil {

@@ -64,13 +64,58 @@ func TestModelClusterCoversOps(t *testing.T) {
 		t.Fatal(rep.Failure.Error())
 	}
 	joined := strings.Join(rep.Trace, "\n")
-	for _, want := range []string{"alloc ", "kill ", "advance ", "report "} {
+	for _, want := range []string{"alloc ", "kill ", "advance ", "report ", "restart "} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("200-step schedule never exercised %q", strings.TrimSpace(want))
 		}
 	}
 	if !strings.Contains(joined, "reaped=1") && !strings.Contains(joined, "reaped=2") {
 		t.Errorf("no clock advance ever reaped a lease; expiry path untested")
+	}
+}
+
+// TestModelClusterRestart pins the crash-recovery path: with the fixed
+// seed the schedule kills and recovers the GRM mid-workload (with leases
+// outstanding), the recovered server's books must match the ledger after
+// every subsequent operation (RunCluster audits that), and the whole
+// trace — restarts included — must replay byte-for-byte.
+func TestModelClusterRestart(t *testing.T) {
+	const steps = 200
+	a, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failure != nil {
+		t.Fatalf("%s\ntrail:\n%s", a.Failure.Error(), tail(a.Trace, 10))
+	}
+	restarts, withLeases := 0, 0
+	for _, line := range a.Trace {
+		if !strings.Contains(line, "restart ") {
+			continue
+		}
+		restarts++
+		if !strings.Contains(line, "leases=0") {
+			withLeases++
+		}
+	}
+	if restarts == 0 {
+		t.Fatalf("%d-step schedule never restarted the GRM", steps)
+	}
+	if withLeases == 0 {
+		t.Errorf("no restart happened with leases outstanding; recovery of live leases untested")
+	}
+
+	b, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failure != nil {
+		t.Fatal(b.Failure.Error())
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("restart traces diverge at step %d:\n%s\n%s", i, a.Trace[i], b.Trace[i])
+		}
 	}
 }
 

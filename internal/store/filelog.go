@@ -1,0 +1,326 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// On-disk framing: every record is one frame of
+//
+//	[4B little-endian payload length][4B CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is the Record encoded as JSON. The CRC catches
+// torn or bit-rotted frames; a short header or payload marks the point
+// a crash truncated the file. Decoding stops at the first frame that
+// fails any check — everything before it is the recovered prefix, and
+// the file is truncated back to that point on open so later appends
+// never follow garbage.
+const (
+	frameHeaderSize = 8
+	// maxFramePayload bounds one record's encoded size; a length field
+	// beyond it is treated as corruption, not an allocation request.
+	maxFramePayload = 16 << 20
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.wal"
+	tmpName  = "snapshot.tmp"
+)
+
+// FileLog is a file-backed Log: an append-only WAL file plus a
+// compacted snapshot file, both under one directory. Every Append is
+// written through to the OS (one write syscall — it survives a killed
+// process, which is the crash recovery defends against); Sync fsyncs
+// for power-loss durability (the GRM syncs on shutdown and after
+// compaction, trading per-record fsync latency for the paper's
+// soft-state tolerance — LRM reports refresh availability anyway).
+type FileLog struct {
+	dir string
+
+	mu   sync.Mutex
+	wal  *os.File
+	bw   *bufio.Writer
+	open bool
+}
+
+// OpenFileLog opens (creating if needed) the log directory. The WAL
+// tail is scanned and truncated back to its last valid record, so a
+// file torn by a crash is safe to append to immediately.
+func OpenFileLog(dir string) (*FileLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	// A crash between writing snapshot.tmp and renaming it leaves a tmp
+	// file that was never activated; drop it.
+	os.Remove(filepath.Join(dir, tmpName))
+	walPath := filepath.Join(dir, walName)
+	valid, _, err := scanFrames(walPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", walPath, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate %s to %d: %w", walPath, valid, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", walPath, err)
+	}
+	return &FileLog{dir: dir, wal: f, bw: bufio.NewWriter(f), open: true}, nil
+}
+
+// Dir returns the log directory.
+func (fl *FileLog) Dir() string { return fl.dir }
+
+// Append encodes rec as one frame at the WAL tail and writes it through
+// to the OS, so a killed process loses nothing; call Sync to force it
+// to stable storage.
+func (fl *FileLog) Append(rec *Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.open {
+		return fmt.Errorf("store: append to closed log")
+	}
+	if _, err := fl.bw.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := fl.bw.Flush(); err != nil {
+		return fmt.Errorf("store: append flush: %w", err)
+	}
+	return nil
+}
+
+// Replay feeds fn the snapshot's state record (if present) followed by
+// every tail record newer than the snapshot's fold point. Buffered
+// appends are flushed first so the replay sees them.
+func (fl *FileLog) Replay(fn func(*Record) error) error {
+	fl.mu.Lock()
+	if fl.open {
+		if err := fl.bw.Flush(); err != nil {
+			fl.mu.Unlock()
+			return fmt.Errorf("store: flush before replay: %w", err)
+		}
+	}
+	fl.mu.Unlock()
+
+	var foldSeq uint64
+	snapPath := filepath.Join(fl.dir, snapName)
+	if _, err := os.Stat(snapPath); err == nil {
+		_, recs, err := scanFrames(snapPath)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if rec.Seq > foldSeq {
+				foldSeq = rec.Seq
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	_, recs, err := scanFrames(filepath.Join(fl.dir, walName))
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Seq <= foldSeq {
+			// Already folded into the snapshot: a crash between the
+			// snapshot rename and the WAL truncate leaves such records.
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact atomically replaces the log's contents with the single state
+// record: the snapshot is written to a temp file, fsynced, renamed over
+// the old snapshot, and only then is the WAL truncated. A crash at any
+// point leaves a log that replays to the same state.
+func (fl *FileLog) Compact(state *Record) error {
+	if state.Kind != KindState {
+		return fmt.Errorf("store: Compact with %v record, want state", state.Kind)
+	}
+	frame, err := encodeFrame(state)
+	if err != nil {
+		return err
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.open {
+		return fmt.Errorf("store: compact closed log")
+	}
+	tmp := filepath.Join(fl.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(fl.dir, snapName)); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	// The snapshot is durable; the WAL tail it folded in can go.
+	fl.bw.Reset(fl.wal)
+	if err := fl.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: compact truncate: %w", err)
+	}
+	if _, err := fl.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: compact seek: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the WAL.
+func (fl *FileLog) Sync() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.open {
+		return nil
+	}
+	if err := fl.bw.Flush(); err != nil {
+		return fmt.Errorf("store: sync flush: %w", err)
+	}
+	if err := fl.wal.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL file. Further appends fail.
+func (fl *FileLog) Close() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.open {
+		return nil
+	}
+	fl.open = false
+	flushErr := fl.bw.Flush()
+	syncErr := fl.wal.Sync()
+	closeErr := fl.wal.Close()
+	if flushErr != nil {
+		return fmt.Errorf("store: close flush: %w", flushErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("store: close sync: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("store: close: %w", closeErr)
+	}
+	return nil
+}
+
+// encodeFrame renders one record as a length+CRC framed JSON payload.
+func encodeFrame(rec *Record) ([]byte, error) {
+	if !rec.Kind.Valid() {
+		return nil, fmt.Errorf("store: encode record with invalid kind %d", uint8(rec.Kind))
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		return nil, fmt.Errorf("store: record payload %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// DecodeRecords reads frames from r until it hits EOF or the first
+// invalid frame (short header, oversized or short payload, CRC
+// mismatch, malformed JSON, unknown kind, or a sequence regression).
+// It returns the valid prefix's records and its byte length; corruption
+// is a stop condition, never an error — recovery resumes from the last
+// valid record. The only error returned is a non-EOF read failure.
+func DecodeRecords(r io.Reader) (recs []*Record, validLen int64, err error) {
+	br := bufio.NewReader(r)
+	var lastSeq uint64
+	for {
+		header := make([]byte, frameHeaderSize)
+		if _, err := io.ReadFull(br, header); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, validLen, nil
+			}
+			return recs, validLen, fmt.Errorf("store: read frame header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		if n > maxFramePayload {
+			return recs, validLen, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, validLen, nil
+			}
+			return recs, validLen, fmt.Errorf("store: read frame payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[4:8]) {
+			return recs, validLen, nil
+		}
+		rec := &Record{}
+		if err := json.Unmarshal(payload, rec); err != nil {
+			return recs, validLen, nil
+		}
+		if !rec.Kind.Valid() {
+			return recs, validLen, nil
+		}
+		if len(recs) > 0 && rec.Seq <= lastSeq {
+			// Sequence regressions mean the tail predates the prefix
+			// (e.g. a recycled file); stop at the consistent prefix.
+			return recs, validLen, nil
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+		validLen += int64(frameHeaderSize) + int64(n)
+	}
+}
+
+// scanFrames decodes every valid record in the named file. A missing
+// file is an empty log.
+func scanFrames(path string) (validLen int64, recs []*Record, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	defer f.Close()
+	recs, validLen, err = DecodeRecords(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	return validLen, recs, nil
+}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzPrefix is a short valid log whose frames seed the corpus and whose
+// records must survive any fuzzed tail appended after them.
+func fuzzPrefix(t interface{ Fatal(...any) }) ([]byte, []*Record) {
+	recs := []*Record{
+		{Seq: 1, Kind: KindRegister, Name: "node0", Capacity: 100},
+		{Seq: 2, Kind: KindReport, Principal: 0, Available: 55.5},
+		{Seq: 3, Kind: KindAlloc, Lease: 1, Takes: []float64{10, 0}, Expires: 42},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		frame, err := encodeFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes(), recs
+}
+
+// FuzzLogDecode feeds arbitrary bytes through the frame decoder. The
+// decoder must never panic, must treat any corruption as a clean stop at
+// the last valid record, and must always recover the intact prefix when
+// garbage is appended after valid frames.
+func FuzzLogDecode(f *testing.F) {
+	prefix, _ := fuzzPrefix(f)
+	f.Add([]byte{})
+	f.Add(prefix)
+	f.Add(prefix[:len(prefix)-3])               // torn tail
+	f.Add(append([]byte{0xFF, 0xFF}, prefix...)) // garbage header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw bytes: any outcome but a panic or a read error is fine, and
+		// the reported valid length must cover exactly the decoded frames.
+		recs, n, err := DecodeRecords(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("in-memory decode errored: %v", err)
+		}
+		if n < 0 || n > int64(len(data)) {
+			t.Fatalf("valid length %d outside [0, %d]", n, len(data))
+		}
+		reDecoded, n2, err := DecodeRecords(bytes.NewReader(data[:n]))
+		if err != nil || n2 != n || len(reDecoded) != len(recs) {
+			t.Fatalf("valid prefix not self-consistent: %d records/%d bytes vs %d/%d (%v)",
+				len(reDecoded), n2, len(recs), n, err)
+		}
+
+		// Valid frames followed by the fuzz input: the prefix records must
+		// always be recovered, in order.
+		prefix, want := fuzzPrefix(t)
+		got, _, err := DecodeRecords(bytes.NewReader(append(append([]byte{}, prefix...), data...)))
+		if err != nil {
+			t.Fatalf("prefixed decode errored: %v", err)
+		}
+		if len(got) < len(want) {
+			t.Fatalf("lost prefix records: got %d, want at least %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("prefix record %d mutated:\ngot  %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
