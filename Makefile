@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check modeltest bench bench-json fuzz clean
+.PHONY: build test race lint check modeltest bench bench-json loadgen-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,16 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) \
 		./internal/core/ ./internal/transitive/ ./internal/lp/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+# Transport comparison suite: cmd/loadgen drives an in-process GRM over
+# both wire codecs (gob at its protocol-limited depth 1, binary
+# pipelined) under a simulated RTT, plus the message-level codec
+# benchmark, and refreshes BENCH_transport.json. The gob sections freeze
+# as the baseline on first write, mirroring BENCH_hotpath.json.
+# LOADGEN_DURATION=500ms gives a smoke run in CI.
+LOADGEN_DURATION ?= 3s
+loadgen-json:
+	$(GO) run ./cmd/loadgen -json BENCH_transport.json -duration $(LOADGEN_DURATION)
 
 # Short local fuzz pass over the snapshot decoder.
 fuzz:

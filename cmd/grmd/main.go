@@ -60,8 +60,15 @@ func main() {
 		backoff      = flag.Duration("backoff", 100*time.Millisecond, "initial parent-link reconnect backoff (doubles, jittered)")
 		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log; state is replayed from it on boot (empty = volatile)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "fold the WAL into a compacted snapshot this often (0 = never; requires -wal-dir)")
+		codec        = flag.String("codec", "auto", "wire codec for the parent link: auto, binary, or gob (the listener always serves both)")
 	)
 	flag.Parse()
+
+	parentCodec, err := grm.ParseWireCodec(*codec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "grmd ", log.LstdFlags)
 	server := grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
@@ -142,6 +149,7 @@ func main() {
 		cfg.Timeout = *ioTimeout
 		cfg.RetryMax = *retries
 		cfg.Backoff = *backoff
+		cfg.Codec = parentCodec
 		// The parent may still be coming up; retry the initial attach with
 		// the same backoff policy the link uses afterwards.
 		var err error

@@ -1,0 +1,658 @@
+// Command loadgen drives synthetic LRM traffic at a GRM and reports
+// throughput and latency percentiles — the measurement harness for the
+// wire-speed transport work.
+//
+// Two driving disciplines:
+//
+//   - closed loop (-mode closed): -conns LRM connections each keep
+//     -depth operations permanently in flight (depth > 1 exercises the
+//     binary codec's pipelining; the gob codec serializes at depth 1).
+//     Throughput is whatever the server sustains.
+//   - open loop (-mode open): operations arrive at -rate per second with
+//     -arrival poisson or uniform inter-arrival gaps and are served by a
+//     pool of -conns connections. Latency includes queueing delay, so an
+//     overloaded server shows up as exploding percentiles, not reduced
+//     throughput.
+//
+// A concurrency ramp (-ramp 1,2,4,8) repeats the closed-loop run at each
+// connection count. With no -grm address, loadgen spawns an in-process
+// GRM on a loopback port; that mode also reports allocations per
+// operation (client and server side together, measured via runtime
+// MemStats deltas). -rtt injects a simulated network round trip on the
+// client side (default 1ms — GRMs federate across clusters, and raw
+// loopback hides the blocking cost of an alternating protocol).
+//
+// -json FILE runs the standard comparison suite and writes
+// BENCH_transport.json: the gob codec at depth 1 (its stream is strictly
+// alternating) versus the binary codec at -depth, end to end under the
+// same -conns and -rtt, plus a message-level codec benchmark (the cost
+// of one self-contained exchange — the unit the framed transport works
+// in). The gob numbers are frozen as the baseline the first time the
+// file is written; later runs refresh only the binary sections and the
+// improvement ratios, so the comparison stays anchored to the pre-binary
+// transport.
+//
+// Usage:
+//
+//	loadgen -mode closed -codec binary -conns 4 -depth 64 -duration 2s
+//	loadgen -mode open -rate 5000 -arrival poisson -duration 5s
+//	loadgen -ramp 1,2,4,8 -codec binary
+//	loadgen -json BENCH_transport.json -duration 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("grm", "", "GRM address; empty spawns an in-process server (enables allocs/op)")
+		codec    = flag.String("codec", "binary", "wire codec to drive: auto, binary, or gob")
+		mode     = flag.String("mode", "closed", "driving discipline: closed or open")
+		conns    = flag.Int("conns", 4, "LRM connections")
+		depth    = flag.Int("depth", 64, "in-flight operations per connection (closed loop)")
+		rate     = flag.Float64("rate", 2000, "target arrivals per second (open loop)")
+		arrival  = flag.String("arrival", "poisson", "open-loop inter-arrival distribution: poisson or uniform")
+		duration = flag.Duration("duration", 2*time.Second, "measured run length (after warmup)")
+		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warmup before measurement")
+		op       = flag.String("op", "mixed", "operation mix: ping, report, or mixed")
+		rtt      = flag.Duration("rtt", time.Millisecond, "simulated network round-trip time injected on the client side (0 = raw loopback)")
+		ramp     = flag.String("ramp", "", "comma-separated connection counts; runs the closed loop at each")
+		jsonOut  = flag.String("json", "", "run the gob-vs-binary comparison suite and write this JSON file")
+		seed     = flag.Int64("seed", 1, "seed for arrival gaps and the report value stream")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "loadgen ", 0)
+
+	wc, err := grm.ParseWireCodec(*codec)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	target := *addr
+	inProcess := target == ""
+	if inProcess {
+		srv, listenAddr, err := spawnServer()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer srv.Close()
+		target = listenAddr
+	}
+
+	base := runConfig{
+		addr: target, inProcess: inProcess, op: *op, seed: *seed,
+		duration: *duration, warmup: *warmup, rtt: *rtt,
+	}
+
+	if *jsonOut != "" {
+		if !inProcess {
+			logger.Fatal("-json needs the in-process server (drop -grm) so allocs/op covers both sides")
+		}
+		if err := runSuite(*jsonOut, base, *conns, *depth, logger); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+
+	if *ramp != "" {
+		for _, field := range strings.Split(*ramp, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || c <= 0 {
+				logger.Fatalf("bad -ramp entry %q", field)
+			}
+			res := runClosed(base, wc, c, *depth)
+			printResult(res)
+		}
+		return
+	}
+
+	switch *mode {
+	case "closed":
+		printResult(runClosed(base, wc, *conns, *depth))
+	case "open":
+		res, err := runOpen(base, wc, *conns, *rate, *arrival)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		printResult(res)
+	default:
+		logger.Fatalf("unknown -mode %q (want closed or open)", *mode)
+	}
+}
+
+// spawnServer starts an in-process GRM on a loopback port.
+func spawnServer() (*grm.Server, string, error) {
+	srv := grm.NewServer(core.Config{}, log.New(os.Stderr, "loadgen-grm ", 0))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go srv.Serve(l)
+	return srv, l.Addr().String(), nil
+}
+
+type runConfig struct {
+	addr      string
+	inProcess bool
+	op        string
+	seed      int64
+	duration  time.Duration
+	warmup    time.Duration
+	rtt       time.Duration // simulated round trip, injected client-side
+}
+
+// result is one measured run; the JSON shape is what lands in
+// BENCH_transport.json.
+type result struct {
+	Codec       string  `json:"codec"`
+	Mode        string  `json:"mode"`
+	Conns       int     `json:"conns"`
+	Depth       int     `json:"depth,omitempty"`
+	RTTms       float64 `json:"rtt_ms"`
+	RatePerSec  float64 `json:"offered_rate_per_sec,omitempty"`
+	Arrival     string  `json:"arrival,omitempty"`
+	Ops         int64   `json:"ops"`
+	Errors      int64   `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+}
+
+func printResult(r result) {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	fmt.Println(string(b))
+}
+
+// worker is one driving goroutine's state: a preallocated latency sample
+// buffer (so measurement itself does not allocate) and an op counter.
+type worker struct {
+	lrm     *grm.LRM
+	ops     atomic.Int64
+	errs    atomic.Int64
+	samples []float64 // milliseconds; sampled 1-in-sampleEvery
+	mu      sync.Mutex
+}
+
+const (
+	sampleEvery = 4
+	sampleCap   = 1 << 16
+)
+
+// doOp runs one operation of the configured mix; n sequences the mix and
+// the report values.
+func doOp(l *grm.LRM, op string, n int64) error {
+	switch {
+	case op == "ping" || (op == "mixed" && n%4 != 0):
+		return l.Ping()
+	default:
+		return l.Report(float64(50 + n%32))
+	}
+}
+
+// measure times one op into the worker's sample buffer.
+func (w *worker) measure(op string, n int64) {
+	start := time.Now()
+	err := doOp(w.lrm, op, n)
+	elapsed := time.Since(start)
+	if err != nil {
+		w.errs.Add(1)
+		return
+	}
+	w.ops.Add(1)
+	if n%sampleEvery == 0 {
+		w.mu.Lock()
+		if len(w.samples) < sampleCap {
+			w.samples = append(w.samples, float64(elapsed)/1e6)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// dialWorkers connects the per-connection clients, injecting the
+// simulated RTT when one is configured.
+func dialWorkers(cfg runConfig, wc grm.WireCodec, conns int) ([]*worker, error) {
+	workers := make([]*worker, conns)
+	for i := range workers {
+		dial := grm.DefaultDialConfig()
+		dial.Codec = wc
+		if cfg.rtt > 0 {
+			oneWay := cfg.rtt / 2
+			dial.Dialer = func(addr string) (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				return newDelayConn(c, oneWay), nil
+			}
+		}
+		lrm, err := grm.DialWithConfig(cfg.addr, fmt.Sprintf("load%d", i), 100, dial)
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.lrm.Close()
+			}
+			return nil, fmt.Errorf("dial worker %d: %w", i, err)
+		}
+		workers[i] = &worker{lrm: lrm, samples: make([]float64, 0, sampleCap)}
+	}
+	return workers, nil
+}
+
+// collect folds the workers into one result, computing percentiles from
+// the pooled samples.
+func collect(workers []*worker, r result, elapsed time.Duration) result {
+	var samples []float64
+	for _, w := range workers {
+		r.Ops += w.ops.Load()
+		r.Errors += w.errs.Load()
+		samples = append(samples, w.samples...)
+	}
+	r.Seconds = elapsed.Seconds()
+	if r.Seconds > 0 {
+		r.MsgsPerSec = float64(r.Ops) / r.Seconds
+	}
+	sort.Float64s(samples)
+	r.P50ms = percentile(samples, 0.50)
+	r.P90ms = percentile(samples, 0.90)
+	r.P99ms = percentile(samples, 0.99)
+	return r
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runClosed keeps conns×depth operations in flight for the configured
+// duration. With the in-process server it also reports allocations per
+// operation across both ends of the wire.
+func runClosed(cfg runConfig, wc grm.WireCodec, conns, depth int) result {
+	if wc == grm.CodecGob && depth > 1 {
+		depth = 1 // the gob stream is strictly alternating; extra depth just queues on the client mutex
+	}
+	workers, err := dialWorkers(cfg, wc, conns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.lrm.Close()
+		}
+	}()
+
+	var stop atomic.Bool
+	var measuring atomic.Bool
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		for d := 0; d < depth; d++ {
+			wg.Add(1)
+			go func(w *worker, lane int64) {
+				defer wg.Done()
+				for n := lane; !stop.Load(); n++ {
+					if measuring.Load() {
+						w.measure(cfg.op, n)
+					} else if err := doOp(w.lrm, cfg.op, n); err != nil {
+						w.errs.Add(1)
+					}
+				}
+			}(w, int64(wi*depth+d)<<32)
+		}
+	}
+
+	time.Sleep(cfg.warmup)
+	var before, after runtime.MemStats
+	if cfg.inProcess {
+		runtime.ReadMemStats(&before)
+	}
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(cfg.duration)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	if cfg.inProcess {
+		runtime.ReadMemStats(&after)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	r := collect(workers, result{
+		Codec: wc.String(), Mode: "closed", Conns: conns, Depth: depth,
+		RTTms: float64(cfg.rtt) / 1e6,
+	}, elapsed)
+	if cfg.inProcess && r.Ops > 0 {
+		r.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(r.Ops)
+	}
+	return r
+}
+
+// runOpen offers arrivals at the target rate with the chosen
+// inter-arrival distribution; a pool of connections serves them and
+// latency is measured from arrival (queueing delay included).
+func runOpen(cfg runConfig, wc grm.WireCodec, conns int, rate float64, arrival string) (result, error) {
+	if rate <= 0 {
+		return result{}, fmt.Errorf("open loop needs -rate > 0")
+	}
+	gap := func(rng *rand.Rand) time.Duration { return time.Duration(float64(time.Second) / rate) }
+	switch arrival {
+	case "uniform":
+	case "poisson":
+		gap = func(rng *rand.Rand) time.Duration {
+			return time.Duration(rng.ExpFloat64() * float64(time.Second) / rate)
+		}
+	default:
+		return result{}, fmt.Errorf("unknown -arrival %q (want poisson or uniform)", arrival)
+	}
+	workers, err := dialWorkers(cfg, wc, conns)
+	if err != nil {
+		return result{}, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.lrm.Close()
+		}
+	}()
+
+	// Arrivals carry their birth time; workers measure from it so time
+	// spent queued for a free connection counts against latency.
+	arrivals := make(chan time.Time, 4*conns)
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for born := range arrivals {
+				n := seq.Add(1)
+				err := doOp(w.lrm, cfg.op, n)
+				elapsed := time.Since(born)
+				if err != nil {
+					w.errs.Add(1)
+					continue
+				}
+				w.ops.Add(1)
+				if n%sampleEvery == 0 {
+					w.mu.Lock()
+					if len(w.samples) < sampleCap {
+						w.samples = append(w.samples, float64(elapsed)/1e6)
+					}
+					w.mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	next := start
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		if next.After(now) {
+			time.Sleep(next.Sub(now))
+		}
+		arrivals <- time.Now()
+		next = next.Add(gap(rng))
+	}
+	close(arrivals)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := collect(workers, result{
+		Codec: wc.String(), Mode: "open", Conns: conns,
+		RatePerSec: rate, Arrival: arrival,
+		RTTms: float64(cfg.rtt) / 1e6,
+	}, elapsed)
+	return r, nil
+}
+
+// benchFile is the BENCH_transport.json layout. The gob sections
+// (BaselineGob and CodecCost.Gob) freeze on first write; later runs
+// refresh the binary sections and the ratios only, so the comparison
+// stays anchored to the pre-binary transport.
+type benchFile struct {
+	Schema        string      `json:"schema"`
+	UpdatedAt     string      `json:"updated_at"`
+	Note          string      `json:"note"`
+	CodecCost     codecCost   `json:"codec_cost"`
+	BaselineGob   *result     `json:"baseline_gob"`
+	CurrentBinary *result     `json:"current_binary"`
+	Ramp          []result    `json:"ramp,omitempty"`
+	Improvement   improvement `json:"improvement"`
+}
+
+// codecCost compares the codecs at the message level: the cost of one
+// self-contained request/response exchange, which is the unit the framed
+// transport works in (every frame is independently decodable and
+// reorderable; gob pays stream setup to produce one).
+type codecCost struct {
+	Unit   string               `json:"unit"`
+	Gob    *grm.WireBenchResult `json:"gob"`
+	Binary *grm.WireBenchResult `json:"binary"`
+}
+
+// improvement holds the headline ratios: msgs_per_sec_x from the
+// end-to-end closed-loop runs (same connection count, gob at its
+// protocol-limited depth 1, binary pipelined), allocs_per_op_x from the
+// self-contained-message codec benchmark.
+type improvement struct {
+	MsgsPerSecX  float64 `json:"msgs_per_sec_x"`
+	AllocsPerOpX float64 `json:"allocs_per_op_x"`
+}
+
+const codecCostUnit = "one self-contained request+response exchange (report + alloc with 16 takes), marshal+unmarshal both ends, no stream state reused between messages"
+
+// runSuite is the standard comparison: the frozen gob baseline (depth 1
+// — its stream is strictly alternating) versus the pipelined binary
+// codec at the requested depth under the same connection count and
+// simulated RTT, plus the message-level codec benchmark and a binary
+// concurrency ramp.
+func runSuite(path string, cfg runConfig, conns, depth int, logger *log.Logger) error {
+	file := &benchFile{
+		Schema: "bench-transport/v1",
+		Note: "gob sections are frozen at the first run on this machine; improvement ratios compare the binary codec against them. " +
+			"msgs_per_sec_x is end-to-end closed loop at equal conns and rtt; allocs_per_op_x is per self-contained message (codec_cost).",
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev benchFile
+		if err := json.Unmarshal(raw, &prev); err == nil && prev.BaselineGob != nil {
+			file.BaselineGob = prev.BaselineGob
+			file.CodecCost.Gob = prev.CodecCost.Gob
+			logger.Printf("keeping frozen gob baseline: %.0f msgs/s", prev.BaselineGob.MsgsPerSec)
+		}
+	}
+
+	const benchIters = 20000
+	if file.CodecCost.Gob == nil {
+		r, err := grm.BenchWireCodec(grm.CodecGob, benchIters)
+		if err != nil {
+			return err
+		}
+		file.CodecCost.Gob = &r
+	}
+	binCost, err := grm.BenchWireCodec(grm.CodecBinary, benchIters)
+	if err != nil {
+		return err
+	}
+	file.CodecCost.Binary = &binCost
+	file.CodecCost.Unit = codecCostUnit
+
+	if file.BaselineGob == nil {
+		logger.Printf("measuring gob baseline (%d conns, depth 1, rtt %v)...", conns, cfg.rtt)
+		gobRes := runClosed(cfg, grm.CodecGob, conns, 1)
+		file.BaselineGob = &gobRes
+	}
+
+	logger.Printf("measuring binary (%d conns, depth %d, rtt %v)...", conns, depth, cfg.rtt)
+	binRes := runClosed(cfg, grm.CodecBinary, conns, depth)
+	file.CurrentBinary = &binRes
+
+	for _, c := range []int{1, 2, conns} {
+		if c > conns {
+			continue
+		}
+		file.Ramp = append(file.Ramp, runClosed(cfg, grm.CodecBinary, c, depth))
+	}
+
+	if file.BaselineGob.MsgsPerSec > 0 {
+		file.Improvement.MsgsPerSecX = binRes.MsgsPerSec / file.BaselineGob.MsgsPerSec
+	}
+	if binCost.AllocsPerOp > 0 {
+		file.Improvement.AllocsPerOpX = file.CodecCost.Gob.AllocsPerOp / binCost.AllocsPerOp
+	}
+	file.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	logger.Printf("binary vs gob: %.1fx msgs/s (%.0f vs %.0f), %.1fx allocs/op per message (%.1f vs %.1f)",
+		file.Improvement.MsgsPerSecX, binRes.MsgsPerSec, file.BaselineGob.MsgsPerSec,
+		file.Improvement.AllocsPerOpX, binCost.AllocsPerOp, file.CodecCost.Gob.AllocsPerOp)
+	return nil
+}
+
+// delayChunk is a batch of bytes plus the instant it is allowed to
+// touch the far side of the simulated link.
+type delayChunk struct {
+	at   time.Time
+	data []byte
+}
+
+// delayConn adds a fixed one-way latency to each direction of a
+// connection without limiting bandwidth: writes are released to the
+// underlying conn oneWay later by a pump goroutine, and bytes read from
+// the conn become visible to Read oneWay after they arrive. Deadlines
+// are no-ops — the benchmark clients' operation timeouts are far larger
+// than the simulated RTT, and Close unblocks everything.
+type delayConn struct {
+	net.Conn
+	oneWay time.Duration
+
+	wch   chan delayChunk
+	wdone chan struct{}
+	werr  atomic.Value // error
+	once  sync.Once
+
+	rch  chan delayChunk
+	rbuf []byte
+	rerr error
+}
+
+func newDelayConn(c net.Conn, oneWay time.Duration) *delayConn {
+	d := &delayConn{
+		Conn:   c,
+		oneWay: oneWay,
+		wch:    make(chan delayChunk, 1024),
+		wdone:  make(chan struct{}),
+		rch:    make(chan delayChunk, 1024),
+	}
+	go d.writePump()
+	go d.readPump()
+	return d
+}
+
+func (d *delayConn) writePump() {
+	for {
+		select {
+		case <-d.wdone:
+			return
+		case ch := <-d.wch:
+			if wait := time.Until(ch.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			if d.werr.Load() != nil {
+				continue // keep draining so writers never block on a dead link
+			}
+			if _, err := d.Conn.Write(ch.data); err != nil {
+				d.werr.Store(err)
+			}
+		}
+	}
+}
+
+func (d *delayConn) readPump() {
+	for {
+		buf := make([]byte, 32<<10)
+		n, err := d.Conn.Read(buf)
+		if n > 0 {
+			d.rch <- delayChunk{at: time.Now().Add(d.oneWay), data: buf[:n]}
+		}
+		if err != nil {
+			d.rerr = err
+			close(d.rch)
+			return
+		}
+	}
+}
+
+func (d *delayConn) Write(b []byte) (int, error) {
+	if err, _ := d.werr.Load().(error); err != nil {
+		return 0, err
+	}
+	data := append([]byte(nil), b...)
+	select {
+	case d.wch <- delayChunk{at: time.Now().Add(d.oneWay), data: data}:
+		return len(b), nil
+	case <-d.wdone:
+		return 0, net.ErrClosed
+	}
+}
+
+func (d *delayConn) Read(p []byte) (int, error) {
+	if len(d.rbuf) == 0 {
+		ch, ok := <-d.rch
+		if !ok {
+			return 0, d.rerr
+		}
+		if wait := time.Until(ch.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.rbuf = ch.data
+	}
+	n := copy(p, d.rbuf)
+	d.rbuf = d.rbuf[n:]
+	return n, nil
+}
+
+func (d *delayConn) Close() error {
+	d.once.Do(func() { close(d.wdone) })
+	return d.Conn.Close()
+}
+
+func (d *delayConn) SetDeadline(time.Time) error      { return nil }
+func (d *delayConn) SetReadDeadline(time.Time) error  { return nil }
+func (d *delayConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,6 +1,7 @@
 package grm
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -8,7 +9,52 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/grm/transport"
 )
+
+// WireCodec selects the wire format an LRM speaks to the GRM.
+type WireCodec int
+
+const (
+	// CodecAuto opens with the binary handshake and falls back to a gob
+	// connection when the server does not speak it. The default.
+	CodecAuto WireCodec = iota
+	// CodecBinary requires the binary protocol; connecting to a server
+	// without it fails.
+	CodecBinary
+	// CodecGob speaks the legacy gob stream: one blocking exchange at a
+	// time on the connection.
+	CodecGob
+)
+
+// String renders the codec as its flag spelling.
+func (c WireCodec) String() string {
+	switch c {
+	case CodecAuto:
+		return "auto"
+	case CodecBinary:
+		return "binary"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("WireCodec(%d)", int(c))
+	}
+}
+
+// ParseWireCodec parses a -codec flag value ("auto", "binary", "gob").
+func ParseWireCodec(s string) (WireCodec, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	default:
+		return 0, fmt.Errorf("grm: unknown wire codec %q (want auto, binary, or gob)", s)
+	}
+}
 
 // DialConfig controls the LRM's failure behavior: per-operation I/O
 // deadlines and the reconnect policy applied when the GRM connection dies
@@ -21,9 +67,13 @@ type DialConfig struct {
 	// attempts before giving up. 0 fails on the first transport error.
 	RetryMax int
 	// Backoff is the initial delay before a reconnect attempt; it doubles
-	// per attempt (with jitter) up to MaxBackoff.
+	// per attempt (with jitter) up to MaxBackoff (or a built-in ceiling
+	// when MaxBackoff is 0).
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// Codec selects the wire format; the zero value negotiates binary
+	// with a gob fallback (CodecAuto).
+	Codec WireCodec
 	// Dialer overrides how the TCP connection is made — the hook used by
 	// fault-injection tests (see internal/grm/faultnet). nil uses
 	// net.DialTimeout.
@@ -41,10 +91,24 @@ func DefaultDialConfig() DialConfig {
 	}
 }
 
+// backoffCeiling caps the exponential doubling when DialConfig.MaxBackoff
+// is 0, so the doubling can never overflow into a negative duration (which
+// would silently disable backoff).
+const backoffCeiling = time.Minute
+
+// wire is one live connection to the GRM. do performs a request/response
+// exchange bounded by timeout; implementations decide whether exchanges
+// on one connection serialize (gob) or pipeline (binary).
+type wire interface {
+	do(req *Request, timeout time.Duration) (*Response, error)
+	close() error
+}
+
 // LRM is a Local Resource Manager: the client side of the GRM protocol.
 // It registers a principal, reports availability, manages agreements and
-// requests allocations. An LRM is safe for concurrent use; requests on
-// one connection are serialized.
+// requests allocations. An LRM is safe for concurrent use; on the binary
+// codec concurrent operations pipeline on one connection (tagged request
+// ids correlate the out-of-order replies), on gob they serialize.
 //
 // When the connection to the GRM dies, the next operation transparently
 // reconnects under DialConfig's policy: it re-registers under the same
@@ -58,13 +122,14 @@ type LRM struct {
 	capacity float64
 
 	mu         sync.Mutex
-	conn       net.Conn
-	enc        *gob.Encoder
-	dec        *gob.Decoder
+	w          wire
 	principal  int
 	closed     bool
 	hasReport  bool
 	lastReport float64
+	// gobFallback records that auto negotiation settled on gob, so
+	// reconnects skip the doomed binary handshake.
+	gobFallback bool
 }
 
 // Dial connects to a GRM and registers a principal with the given starting
@@ -100,15 +165,16 @@ func (l *LRM) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
-	if l.conn == nil {
+	if l.w == nil {
 		return nil
 	}
-	err := l.conn.Close()
-	l.conn = nil
+	err := l.w.close()
+	l.w = nil
 	return err
 }
 
-// Principal returns the principal id assigned at registration.
+// Principal returns the principal id assigned at registration (rebound on
+// every reconnect).
 func (l *LRM) Principal() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -118,19 +184,65 @@ func (l *LRM) Principal() int {
 // Name returns the name used at registration.
 func (l *LRM) Name() string { return l.name }
 
+// Codec returns the wire codec the live connection speaks (the
+// configured codec with auto negotiation resolved).
+func (l *LRM) Codec() WireCodec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.cfg.Codec == CodecGob || (l.cfg.Codec == CodecAuto && l.gobFallback):
+		return CodecGob
+	default:
+		return CodecBinary
+	}
+}
+
+// dialWire dials and negotiates the wire codec per cfg.Codec. In auto
+// mode a failed binary handshake (an old GRM) falls back to a fresh gob
+// connection, and the choice sticks for later reconnects.
+func (l *LRM) dialWire() (wire, error) {
+	conn, err := l.cfg.Dialer(l.addr)
+	if err != nil {
+		return nil, fmt.Errorf("grm: dial %s: %w", l.addr, err)
+	}
+	codec := l.cfg.Codec
+	if codec == CodecAuto && l.gobFallback {
+		codec = CodecGob
+	}
+	if codec == CodecGob {
+		return newGobWire(conn), nil
+	}
+	w, err := newBinWire(conn, l.cfg.Timeout)
+	if err == nil {
+		return w, nil
+	}
+	conn.Close()
+	if codec != CodecAuto {
+		return nil, fmt.Errorf("grm: handshake with %s: %w", l.addr, err)
+	}
+	// The peer rejected or ignored the binary hello — an old GRM. Redial
+	// and speak gob; remember so reconnects skip the failed handshake.
+	l.gobFallback = true
+	conn, err = l.cfg.Dialer(l.addr)
+	if err != nil {
+		return nil, fmt.Errorf("grm: dial %s: %w", l.addr, err)
+	}
+	return newGobWire(conn), nil
+}
+
 // connectLocked dials the GRM, registers under the LRM's name (rebinding
 // to the existing principal on a reconnect), and replays the last
 // availability report so the GRM's view survives the outage. Callers hold
 // l.mu.
+//
+//lint:ignore sharingvet/lockedio l.mu intentionally serializes the reconnect dial + register/replay exchange; each step is bounded by cfg.Timeout and no other lock nests under l.mu
 func (l *LRM) connectLocked() error {
-	conn, err := l.cfg.Dialer(l.addr)
+	w, err := l.dialWire()
 	if err != nil {
-		return fmt.Errorf("grm: dial %s: %w", l.addr, err)
+		return err
 	}
-	l.conn = conn
-	l.enc = gob.NewEncoder(conn)
-	l.dec = gob.NewDecoder(conn)
-	resp, err := l.exchangeLocked(&Request{Register: &RegisterRequest{Name: l.name, Capacity: l.capacity}})
+	l.w = w
+	resp, err := w.do(&Request{Register: &RegisterRequest{Name: l.name, Capacity: l.capacity}}, l.cfg.Timeout)
 	if err != nil {
 		l.dropLocked()
 		return err
@@ -145,7 +257,7 @@ func (l *LRM) connectLocked() error {
 	}
 	l.principal = resp.Register.Principal
 	if l.hasReport {
-		resp, err := l.exchangeLocked(&Request{Report: &ReportRequest{Principal: l.principal, Available: l.lastReport}})
+		resp, err := w.do(&Request{Report: &ReportRequest{Principal: l.principal, Available: l.lastReport}}, l.cfg.Timeout)
 		if err != nil {
 			l.dropLocked()
 			return err
@@ -158,47 +270,47 @@ func (l *LRM) connectLocked() error {
 	return nil
 }
 
-// exchangeLocked performs one request/response exchange on the live
-// connection under the configured deadline. Callers hold l.mu.
-func (l *LRM) exchangeLocked(req *Request) (*Response, error) {
-	if l.cfg.Timeout > 0 {
-		l.conn.SetDeadline(time.Now().Add(l.cfg.Timeout))
+// dropLocked discards a dead connection so the next operation redials.
+// Callers hold l.mu.
+func (l *LRM) dropLocked() {
+	if l.w != nil {
+		l.w.close()
+		l.w = nil
 	}
-	if err := l.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("grm: send: %w", err)
-	}
-	var resp Response
-	if err := l.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("grm: receive: %w", err)
-	}
-	if l.cfg.Timeout > 0 {
-		l.conn.SetDeadline(time.Time{})
-	}
-	return &resp, nil
 }
 
-// dropLocked discards a dead connection so the next operation redials.
-func (l *LRM) dropLocked() {
-	if l.conn != nil {
-		l.conn.Close()
+// dropWire discards w if it is still the live connection; a concurrent
+// operation may already have replaced it.
+func (l *LRM) dropWire(w wire) {
+	l.mu.Lock()
+	if l.w == w {
+		l.w = nil
 	}
-	l.conn, l.enc, l.dec = nil, nil, nil
+	l.mu.Unlock()
+	w.close()
 }
 
 // backoff returns the jittered exponential delay before reconnect round
-// `attempt` (1-based): Backoff·2^(attempt−1) capped at MaxBackoff, then
-// uniformly drawn from [d/2, d) so stampeding LRMs desynchronize.
+// `attempt` (1-based): Backoff·2^(attempt−1) capped at MaxBackoff (or
+// backoffCeiling when MaxBackoff is 0 — the doubling must never overflow),
+// then uniformly drawn from [d/2, d) so stampeding LRMs desynchronize.
 func (l *LRM) backoff(attempt int) time.Duration {
 	d := l.cfg.Backoff
 	if d <= 0 {
 		d = 50 * time.Millisecond
 	}
+	ceil := l.cfg.MaxBackoff
+	if ceil <= 0 {
+		ceil = backoffCeiling
+	}
 	for i := 1; i < attempt; i++ {
-		d *= 2
-		if l.cfg.MaxBackoff > 0 && d >= l.cfg.MaxBackoff {
-			d = l.cfg.MaxBackoff
+		if d >= ceil {
 			break
 		}
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
 	}
 	half := int64(d / 2)
 	if half <= 0 {
@@ -207,34 +319,75 @@ func (l *LRM) backoff(attempt int) time.Duration {
 	return time.Duration(half + rand.Int63n(half))
 }
 
-// roundTrip performs one request/response exchange, reconnecting and
-// retrying on transport errors up to RetryMax times. Application-level
-// errors (Response.Err) are returned immediately and never retried.
+// acquire returns the live wire (dialing one when needed) and the
+// principal currently bound to it. Reconnect round `attempt` > 0 sleeps
+// the backoff delay before redialing.
 //
-//lint:ignore sharingvet/lockedio holding l.mu across the exchange is the design: it serializes the strictly alternating request/response protocol on one connection, every op is bounded by cfg.Timeout deadlines, and no other lock nests under l.mu
-func (l *LRM) roundTrip(req *Request) (*Response, error) {
+//lint:ignore sharingvet/lockedio l.mu intentionally serializes reconnection (the dial + register/replay exchange in connectLocked); each step is bounded by cfg.Timeout and no other lock nests under l.mu
+func (l *LRM) acquire(attempt int) (wire, int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, fmt.Errorf("grm: %w", net.ErrClosed)
+	}
+	if l.w == nil {
+		if attempt > 0 {
+			time.Sleep(l.backoff(attempt))
+		}
+		if err := l.connectLocked(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return l.w, l.principal, nil
+}
+
+// noteReport remembers the last successfully delivered availability so a
+// reconnect can replay it.
+func (l *LRM) noteReport(v float64) {
+	l.mu.Lock()
+	l.hasReport, l.lastReport = true, v
+	l.mu.Unlock()
+}
+
+// bindPrincipal stamps the current principal id into the envelope fields
+// that name the caller itself.
+func bindPrincipal(req *Request, principal int) {
+	switch {
+	case req.Report != nil:
+		req.Report.Principal = principal
+	case req.Alloc != nil:
+		req.Alloc.Principal = principal
+	case req.Share != nil:
+		req.Share.From = principal
+	}
+}
+
+// exchange performs one request/response exchange, reconnecting and
+// retrying on transport errors up to RetryMax times. Application-level
+// errors (Response.Err) are returned immediately and never retried. With
+// bind set, the envelope's own-principal field is restamped on every
+// attempt so a retry after a reconnect that re-registered under a fresh
+// principal id never carries the stale one.
+func (l *LRM) exchange(req *Request, bind bool) (*Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if l.closed {
-			return nil, fmt.Errorf("grm: %w", net.ErrClosed)
-		}
-		if l.conn == nil {
-			if attempt > 0 {
-				time.Sleep(l.backoff(attempt))
-			}
-			if err := l.connectLocked(); err != nil {
-				lastErr = err
-				if attempt >= l.cfg.RetryMax {
-					return nil, fmt.Errorf("grm: gave up after %d attempts: %w", attempt+1, lastErr)
-				}
-				continue
-			}
-		}
-		resp, err := l.exchangeLocked(req)
+		w, principal, err := l.acquire(attempt)
 		if err != nil {
-			l.dropLocked()
+			if errors.Is(err, net.ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			if attempt >= l.cfg.RetryMax {
+				return nil, fmt.Errorf("grm: gave up after %d attempts: %w", attempt+1, lastErr)
+			}
+			continue
+		}
+		if bind {
+			bindPrincipal(req, principal)
+		}
+		resp, err := w.do(req, l.cfg.Timeout)
+		if err != nil {
+			l.dropWire(w)
 			lastErr = err
 			if attempt >= l.cfg.RetryMax {
 				return nil, lastErr
@@ -245,16 +398,27 @@ func (l *LRM) roundTrip(req *Request) (*Response, error) {
 			return nil, errors.New(resp.Err)
 		}
 		if req.Report != nil {
-			l.hasReport, l.lastReport = true, req.Report.Available
+			l.noteReport(req.Report.Available)
 		}
 		return resp, nil
 	}
 }
 
+// roundTrip performs one exchange with the envelope exactly as given —
+// principal fields are not rebound (tests use this to send envelopes on
+// behalf of other principals).
+func (l *LRM) roundTrip(req *Request) (*Response, error) { return l.exchange(req, false) }
+
+// ownRoundTrip is roundTrip for operations acting as this LRM's own
+// principal: the envelope's principal field is bound to the current id on
+// every attempt, including retries after a reconnect rebound it.
+func (l *LRM) ownRoundTrip(req *Request) (*Response, error) { return l.exchange(req, true) }
+
 // Report updates the GRM's view of this principal's free capacity. The
 // value is remembered and replayed after a reconnect.
 func (l *LRM) Report(available float64) error {
-	_, err := l.roundTrip(&Request{Report: &ReportRequest{Principal: l.Principal(), Available: available}})
+	// ownRoundTrip stamps the principal id per attempt.
+	_, err := l.ownRoundTrip(&Request{Report: &ReportRequest{Available: available}})
 	return err
 }
 
@@ -275,7 +439,7 @@ func (l *LRM) Ping() error {
 // shares `fraction` of its fluctuating capacity with principal `to`. The
 // returned ticket token can revoke the agreement.
 func (l *LRM) ShareRelative(to int, fraction float64) (int, error) {
-	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.Principal(), To: to, Fraction: fraction}})
+	resp, err := l.ownRoundTrip(&Request{Share: &ShareRequest{To: to, Fraction: fraction}})
 	if err != nil {
 		return 0, err
 	}
@@ -287,7 +451,7 @@ func (l *LRM) ShareRelative(to int, fraction float64) (int, error) {
 
 // ShareAbsolute creates an absolute agreement of a fixed quantity.
 func (l *LRM) ShareAbsolute(to int, quantity float64) (int, error) {
-	resp, err := l.roundTrip(&Request{Share: &ShareRequest{From: l.Principal(), To: to, Quantity: quantity}})
+	resp, err := l.ownRoundTrip(&Request{Share: &ShareRequest{To: to, Quantity: quantity}})
 	if err != nil {
 		return 0, err
 	}
@@ -307,7 +471,7 @@ func (l *LRM) Revoke(ticket int) error {
 // reply says how much to take from each principal and carries the lease
 // token (renew it with Renew when the reply's TTL is non-zero).
 func (l *LRM) Allocate(amount float64) (*AllocReply, error) {
-	resp, err := l.roundTrip(&Request{Alloc: &AllocRequest{Principal: l.Principal(), Amount: amount}})
+	resp, err := l.ownRoundTrip(&Request{Alloc: &AllocRequest{Amount: amount}})
 	if err != nil {
 		return nil, err
 	}
@@ -360,4 +524,226 @@ func (l *LRM) Peers() ([]string, error) {
 		return nil, fmt.Errorf("grm: peers: malformed reply")
 	}
 	return resp.Peers.Names, nil
+}
+
+// --- gob wire ---
+
+// gobWire is the legacy codec: a strictly alternating request/response
+// gob stream, one exchange at a time under its mutex.
+type gobWire struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// newGobWire wraps a fresh connection in gob codecs; no handshake is
+// exchanged (the server recognizes a gob stream by its first byte).
+func newGobWire(conn net.Conn) *gobWire {
+	return &gobWire{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// do performs one blocking exchange under the deadline.
+//
+//lint:ignore sharingvet/lockedio w.mu is what serializes the strictly alternating gob stream; every exchange is bounded by the deadline armed below and no other lock nests under it
+func (w *gobWire) do(req *Request, timeout time.Duration) (*Response, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if timeout > 0 {
+		w.conn.SetDeadline(time.Now().Add(timeout))
+	} else {
+		w.conn.SetDeadline(time.Time{})
+	}
+	if err := w.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("grm: send: %w", err)
+	}
+	var resp Response
+	if err := w.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("grm: receive: %w", err)
+	}
+	if timeout > 0 {
+		w.conn.SetDeadline(time.Time{})
+	}
+	return &resp, nil
+}
+
+func (w *gobWire) close() error { return w.conn.Close() }
+
+// --- binary wire ---
+
+// binWire is the pipelined binary codec: any number of operations may be
+// in flight on the connection at once. Writers serialize frame emission
+// under wmu; a single reader goroutine demultiplexes replies to waiters
+// by request id.
+type binWire struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	wmu sync.Mutex
+	fw  *transport.FrameWriter
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response // nil once the reader exited
+	err     error
+
+	done chan struct{} // closed when the reader exits
+	fr   *transport.FrameReader
+}
+
+// wireTimeout is the pipelined client-side timeout: the request was
+// written but no reply arrived within the deadline. It implements
+// net.Error so callers detect timeouts uniformly across codecs.
+type wireTimeout struct{}
+
+func (wireTimeout) Error() string   { return "grm: receive: timeout waiting for reply" }
+func (wireTimeout) Timeout() bool   { return true }
+func (wireTimeout) Temporary() bool { return true }
+
+// newBinWire performs the binary handshake on a fresh connection and
+// starts the reply-demultiplexing reader.
+func newBinWire(conn net.Conn, timeout time.Duration) (*binWire, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := transport.WriteHello(conn, transport.Version); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	if _, err := transport.ReadHello(br); err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	w := &binWire{
+		conn:    conn,
+		timeout: timeout,
+		fw:      transport.NewFrameWriter(conn),
+		fr:      transport.NewFrameReader(br),
+		pending: map[uint64]chan *Response{},
+		done:    make(chan struct{}),
+	}
+	go w.readLoop()
+	return w, nil
+}
+
+// readLoop demultiplexes reply frames to their waiters. The read
+// deadline is armed only while replies are owed — an idle pipelined
+// connection stays open indefinitely.
+func (w *binWire) readLoop() {
+	var err error
+	for {
+		w.mu.Lock()
+		waiting := len(w.pending)
+		w.mu.Unlock()
+		if w.timeout > 0 && waiting > 0 {
+			w.conn.SetReadDeadline(time.Now().Add(w.timeout))
+		} else {
+			w.conn.SetReadDeadline(time.Time{})
+		}
+		id, envelope, rerr := w.fr.ReadFrame()
+		if rerr != nil {
+			err = fmt.Errorf("grm: receive: %w", rerr)
+			break
+		}
+		resp, derr := decodeResponse(envelope)
+		if derr != nil {
+			err = fmt.Errorf("grm: receive: %w", derr)
+			break
+		}
+		w.mu.Lock()
+		ch, ok := w.pending[id]
+		delete(w.pending, id)
+		w.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; a reply for a timed-out id was forgotten
+		}
+	}
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.pending = nil
+	w.mu.Unlock()
+	close(w.done)
+	w.conn.Close()
+}
+
+// forget abandons a pending request id (timed out or failed to write).
+func (w *binWire) forget(id uint64) {
+	w.mu.Lock()
+	if w.pending != nil {
+		delete(w.pending, id)
+	}
+	w.mu.Unlock()
+}
+
+// do writes one tagged request frame and waits for its reply, however
+// many other operations are in flight on the connection.
+func (w *binWire) do(req *Request, timeout time.Duration) (*Response, error) {
+	ch := make(chan *Response, 1)
+	w.mu.Lock()
+	if w.pending == nil {
+		err := w.err
+		w.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("grm: send: %w", net.ErrClosed)
+		}
+		return nil, err
+	}
+	w.nextID++
+	id := w.nextID
+	w.pending[id] = ch
+	w.mu.Unlock()
+
+	w.wmu.Lock()
+	if timeout > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(timeout))
+	} else {
+		w.conn.SetWriteDeadline(time.Time{})
+	}
+	err := w.fw.WriteFrame(id, func(dst []byte) ([]byte, error) {
+		return appendRequest(dst, req)
+	})
+	w.wmu.Unlock()
+	if err != nil {
+		w.forget(id)
+		// A failed or torn write poisons the frame stream; sever the
+		// connection so every waiter unblocks and the LRM redials.
+		w.conn.Close()
+		return nil, fmt.Errorf("grm: send: %w", err)
+	}
+
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-w.done:
+		// The reader may have delivered the reply just before exiting.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		return nil, err
+	case <-timeoutC:
+		w.forget(id)
+		return nil, wireTimeout{}
+	}
+}
+
+func (w *binWire) close() error {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = fmt.Errorf("grm: %w", net.ErrClosed)
+	}
+	w.mu.Unlock()
+	return w.conn.Close()
 }

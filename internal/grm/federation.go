@@ -44,7 +44,24 @@ func (s *Server) AttachParentConfig(addr, name string, cfg DialConfig) error {
 		return fmt.Errorf("grm: attach parent: %w", err)
 	}
 	s.parent = &parentLink{lrm: lrm}
+	// Availability reported while the dial was in flight (the lock is
+	// released across it) is not in the registered capacity; recompute
+	// under the same lock that admits reports and refresh the parent's
+	// view so those reports are not lost.
+	var fresh float64
+	for _, a := range s.avail {
+		fresh += a
+	}
 	s.mu.Unlock()
+	if fresh != total {
+		if rerr := lrm.Report(fresh); rerr != nil {
+			s.mu.Lock()
+			s.parent = nil
+			s.mu.Unlock()
+			lrm.Close()
+			return fmt.Errorf("grm: attach parent: refresh aggregate: %w", rerr)
+		}
+	}
 	return nil
 }
 

@@ -536,7 +536,9 @@ func TestAbruptClientDisconnect(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Kill the connection without any protocol goodbye.
-		l.conn.Close()
+		l.mu.Lock()
+		l.w.close()
+		l.mu.Unlock()
 	}
 	survivor, err := Dial(addr, "steady", 10)
 	if err != nil {

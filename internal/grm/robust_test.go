@@ -536,3 +536,64 @@ func TestServerIdleTimeoutDisconnectsQuietClients(t *testing.T) {
 		t.Errorf("ping after idle disconnect with retries: %v", err)
 	}
 }
+
+// TestAttachParentRefreshesAggregate is the regression test for the
+// stale-aggregate attach: the cluster total is summed before the dial,
+// so availability reported while the dial is in flight must be
+// re-reported to the parent once attached, not silently lost.
+func TestAttachParentRefreshesAggregate(t *testing.T) {
+	_, paddr := startServer(t, core.Config{})
+	child, caddr := startServer(t, core.Config{})
+
+	leaf, err := Dial(caddr, "leaf", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Report(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dialer hook lands a fresh availability report in the window
+	// between the aggregate snapshot and the registration at the parent.
+	var once sync.Once
+	cfg := DefaultDialConfig()
+	cfg.Dialer = func(addr string) (net.Conn, error) {
+		once.Do(func() {
+			if err := leaf.Report(25); err != nil {
+				t.Errorf("interleaved report: %v", err)
+			}
+		})
+		return net.DialTimeout("tcp", addr, time.Second)
+	}
+	if err := child.AttachParentConfig(paddr, "cluster", cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer child.DetachParent()
+
+	probe, err := Dial(paddr, "probe", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	names, err := probe.Peers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := -1
+	for i, name := range names {
+		if name == "cluster" {
+			cluster = i
+		}
+	}
+	if cluster < 0 {
+		t.Fatalf("cluster principal not registered at parent: %v", names)
+	}
+	avail, _, err := probe.Capacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avail[cluster]-25) > 1e-9 {
+		t.Fatalf("parent sees cluster availability %g, want the refreshed 25 (stale snapshot was 10)", avail[cluster])
+	}
+}

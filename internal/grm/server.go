@@ -136,7 +136,7 @@ func NewServer(cfg core.Config, logger *log.Logger) *Server {
 	s.tr = transport.NewServer(
 		func() any { return &Request{} },
 		transport.HandlerFunc(func(req any) any { return s.dispatch(req.(*Request)) }),
-		transport.Options{WriteTimeout: 30 * time.Second, Logger: logger},
+		transport.Options{WriteTimeout: 30 * time.Second, Logger: logger, Codec: binaryCodec{}},
 	)
 	return s
 }

@@ -1,18 +1,27 @@
 // Package transport owns the GRM's connection plane: accepting LRM
 // connections, tracking them for shutdown, framing requests and
-// responses as gob envelopes, and applying idle/write deadlines. It is
-// the bottom layer of the GRM's three-layer split (transport → service →
-// state): the service layer above it sees only decoded request values
-// and never touches a net.Conn, which is what lets it hold its state
-// mutex without ever blocking on the network (the invariant the
-// sharingvet lockedio analyzer enforces).
+// responses, and applying idle/write deadlines. It is the bottom layer
+// of the GRM's three-layer split (transport → service → state): the
+// service layer above it sees only decoded request values and never
+// touches a net.Conn, which is what lets it hold its state mutex
+// without ever blocking on the network (the invariant the sharingvet
+// lockedio analyzer enforces).
+//
+// Two codecs share the listener (wire.go documents the format). A peer
+// that opens with the binary handshake gets CRC-framed envelopes with
+// request ids and may pipeline: the connection's reader dispatches each
+// decoded request to its own handler goroutine and a single writer
+// goroutine serializes the replies, so responses return in completion
+// order, not arrival order. A peer that opens with a gob stream gets
+// the original strictly alternating request/response loop.
 //
 // The package is protocol-agnostic: the request/response envelope types
-// are supplied by the caller through a factory and a Handler, so the
-// transport has no dependency on the grm package above it.
+// are supplied by the caller through a factory, a Handler, and a Codec,
+// so the transport has no dependency on the grm package above it.
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -47,15 +56,28 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Logger receives per-connection diagnostics; nil discards them.
 	Logger *log.Logger
+	// Codec serves peers that open with the binary handshake. nil
+	// serves gob only (binary hellos are dropped as garbage).
+	Codec Codec
+	// MaxInflight caps concurrently executing requests per binary
+	// connection; further frames wait in the kernel buffer. 0 uses
+	// DefaultMaxInflight.
+	MaxInflight int
 }
+
+// DefaultMaxInflight is the per-connection pipelining cap when Options
+// does not set one.
+const DefaultMaxInflight = 64
 
 // Server is the connection plane: one accept loop plus one
 // request/response goroutine per live connection. It owns every
 // net.Conn it accepts; the layers above never see one.
 type Server struct {
-	newReq  func() any // allocates a fresh request envelope to decode into
-	handler Handler
-	logger  *log.Logger
+	newReq   func() any // allocates a fresh request envelope to decode into
+	handler  Handler
+	codec    Codec
+	inflight int
+	logger   *log.Logger
 
 	mu       sync.Mutex
 	idle     time.Duration
@@ -77,14 +99,20 @@ func NewServer(newReq func() any, handler Handler, opts Options) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
 	return &Server{
-		newReq:  newReq,
-		handler: handler,
-		logger:  logger,
-		idle:    opts.IdleTimeout,
-		write:   opts.WriteTimeout,
-		conns:   map[net.Conn]struct{}{},
-		closed:  make(chan struct{}),
+		newReq:   newReq,
+		handler:  handler,
+		codec:    opts.Codec,
+		inflight: inflight,
+		logger:   logger,
+		idle:     opts.IdleTimeout,
+		write:    opts.WriteTimeout,
+		conns:    map[net.Conn]struct{}{},
+		closed:   make(chan struct{}),
 	}
 }
 
@@ -169,19 +197,55 @@ func (t *Server) Close() error {
 	return t.closeErr
 }
 
-// serveConn runs one connection's strictly alternating request/response
-// loop: decode under the idle deadline, hand the envelope to the service
-// layer, write its reply under the write deadline.
+// timeouts snapshots the current idle/write deadlines.
+func (t *Server) timeouts() (idle, write time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idle, t.write
+}
+
+// serveConn routes one accepted connection to its codec: the first byte
+// distinguishes a binary handshake from a gob stream (wire.go). The
+// peek runs under the idle deadline so a silent peer is still dropped.
 func (t *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	idle, _ := t.timeouts()
+	if idle > 0 {
+		conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			t.logger.Printf("transport: peek from %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if IsBinaryHello(first[0]) {
+		if t.codec == nil {
+			t.logger.Printf("transport: binary hello from %s but no codec configured", conn.RemoteAddr())
+			return
+		}
+		t.serveBinary(conn, br)
+		return
+	}
+	t.serveGob(conn, br)
+}
+
+// serveGob runs one connection's strictly alternating request/response
+// loop: decode under the idle deadline, hand the envelope to the service
+// layer, write its reply under the write deadline. When SetTimeouts
+// drops a deadline to 0 the previously armed one is cleared — a live
+// connection must not be killed by a deadline configured away.
+func (t *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
-		t.mu.Lock()
-		idle, write := t.idle, t.write
-		t.mu.Unlock()
+		idle, write := t.timeouts()
 		if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle))
+		} else {
+			conn.SetReadDeadline(time.Time{})
 		}
 		req := t.newReq()
 		if err := dec.Decode(req); err != nil {
@@ -193,10 +257,119 @@ func (t *Server) serveConn(conn net.Conn) {
 		resp := t.handler.Handle(req)
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
+		} else {
+			conn.SetWriteDeadline(time.Time{})
 		}
 		if err := enc.Encode(resp); err != nil {
 			t.logger.Printf("transport: encode to %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+	}
+}
+
+// respFrame is one finished response on its way to a binary
+// connection's writer goroutine.
+type respFrame struct {
+	id   uint64
+	resp any
+}
+
+// serveBinary answers the handshake then runs the pipelined loop: this
+// goroutine reads and decodes frames, each request executes in its own
+// goroutine (bounded by the inflight cap), and the writer goroutine
+// serializes replies back onto the wire in completion order.
+func (t *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	idle, write := t.timeouts()
+	if idle > 0 {
+		conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	proposed, err := ReadHello(br)
+	if err != nil {
+		t.logger.Printf("transport: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if write > 0 {
+		conn.SetWriteDeadline(time.Now().Add(write))
+	}
+	if err := WriteHello(conn, NegotiateVersion(proposed)); err != nil {
+		t.logger.Printf("transport: handshake to %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+
+	writes := make(chan respFrame, t.inflight)
+	writerDone := make(chan struct{})
+	go t.connWriter(conn, writes, writerDone)
+	sem := make(chan struct{}, t.inflight)
+	var handlers sync.WaitGroup
+
+	fr := NewFrameReader(br)
+	for {
+		idle, _ := t.timeouts()
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		id, envelope, err := fr.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.logger.Printf("transport: read frame from %s: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		req, err := t.codec.DecodeRequest(envelope)
+		if err != nil {
+			t.logger.Printf("transport: decode frame %d from %s: %v", id, conn.RemoteAddr(), err)
+			break
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(id uint64, req any) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			// The writer drains until the channel closes (below, after
+			// every handler finished), so this send cannot deadlock even
+			// when the connection is already dead.
+			writes <- respFrame{id: id, resp: t.handler.Handle(req)}
+		}(id, req)
+	}
+	handlers.Wait()
+	close(writes)
+	<-writerDone
+}
+
+// connWriter is a binary connection's single writer: it frames each
+// finished response under the write deadline. Replies are batched
+// through a buffered writer that flushes only when the queue runs dry,
+// so a pipelined burst of responses costs one syscall, not one per
+// frame. On a write error it severs the connection (unblocking the
+// reader) and keeps draining so handler goroutines never block on a
+// dead peer.
+func (t *Server) connWriter(conn net.Conn, writes <-chan respFrame, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(conn)
+	fw := NewFrameWriter(bw)
+	broken := false
+	for f := range writes {
+		if broken {
+			continue
+		}
+		_, write := t.timeouts()
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		} else {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		err := fw.WriteFrame(f.id, func(dst []byte) ([]byte, error) {
+			return t.codec.AppendResponse(dst, f.resp)
+		})
+		if err == nil && len(writes) == 0 {
+			err = bw.Flush()
+		}
+		if err != nil {
+			t.logger.Printf("transport: write frame to %s: %v", conn.RemoteAddr(), err)
+			conn.Close()
+			broken = true
 		}
 	}
 }

@@ -31,6 +31,10 @@ type ClusterOptions struct {
 	// TTL is the lease time-to-live on the virtual clock. 0 means the
 	// default of 10 (virtual) seconds.
 	TTL time.Duration
+	// Codec is the wire codec the cluster's LRMs speak. The schedule and
+	// its trace are codec-independent, so the same seed must produce a
+	// byte-identical trace under every codec.
+	Codec grm.WireCodec
 }
 
 // ClusterFailure pinpoints an invariant violation in a cluster run.
@@ -174,6 +178,7 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 			RetryMax:   5,
 			Backoff:    time.Millisecond,
 			MaxBackoff: 4 * time.Millisecond,
+			Codec:      opts.Codec,
 			Dialer:     faultnet.Dialer(nil, node.conns),
 		}
 		lrm, err := grm.DialWithConfig(addr, fmt.Sprintf("p%d", p), node.capacity, cfg)

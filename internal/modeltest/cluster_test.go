@@ -2,6 +2,7 @@ package modeltest
 
 import (
 	"flag"
+	"repro/internal/grm"
 	"strings"
 	"testing"
 )
@@ -124,4 +125,39 @@ func tail(lines []string, n int) string {
 		lines = lines[len(lines)-n:]
 	}
 	return strings.Join(lines, "\n")
+}
+
+// TestModelClusterCodecEquivalence is the wire-format correctness
+// contract: the same seeded schedule — restarts, kills, and recovery
+// included — must replay byte-identical whether the LRMs speak the
+// legacy gob stream or the pipelined binary codec. 200 steps covers the
+// restart-grm recovery path (TestModelClusterRestart pins that the
+// fixed seed restarts with leases outstanding).
+func TestModelClusterCodecEquivalence(t *testing.T) {
+	const steps = 200
+	for _, seed := range []int64{*clusterSeedFlag, *clusterSeedFlag + 1} {
+		gobRep, err := RunCluster(ClusterOptions{Seed: seed, Steps: steps, Codec: grm.CodecGob})
+		if err != nil {
+			t.Fatalf("seed %d gob: %v", seed, err)
+		}
+		if gobRep.Failure != nil {
+			t.Fatalf("seed %d gob: %s\ntrail:\n%s", seed, gobRep.Failure.Error(), tail(gobRep.Trace, 10))
+		}
+		binRep, err := RunCluster(ClusterOptions{Seed: seed, Steps: steps, Codec: grm.CodecBinary})
+		if err != nil {
+			t.Fatalf("seed %d binary: %v", seed, err)
+		}
+		if binRep.Failure != nil {
+			t.Fatalf("seed %d binary: %s\ntrail:\n%s", seed, binRep.Failure.Error(), tail(binRep.Trace, 10))
+		}
+		if len(gobRep.Trace) != len(binRep.Trace) {
+			t.Fatalf("seed %d: trace lengths differ: gob %d vs binary %d", seed, len(gobRep.Trace), len(binRep.Trace))
+		}
+		for i := range gobRep.Trace {
+			if gobRep.Trace[i] != binRep.Trace[i] {
+				t.Fatalf("seed %d: codec traces diverge at step %d:\ngob:    %s\nbinary: %s",
+					seed, i, gobRep.Trace[i], binRep.Trace[i])
+			}
+		}
+	}
 }
