@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check modeltest bench bench-json loadgen-json fuzz clean
+.PHONY: build test race lint check modeltest bench bench-json loadgen-json fuzz wire-manifest clean
 
 build:
 	$(GO) build ./...
@@ -30,13 +30,21 @@ modeltest:
 	$(GO) run ./cmd/sharingcheck -seed $(MODELTEST_SEED) -iters $(MODELTEST_ITERS) \
 		-cluster-runs 3 -cluster-steps 200 -mutations -out modeltest-failure.json
 
-# Static analysis: the sharingvet analyzers (float equality, I/O under
-# locks, missing conn deadlines, unwrapped errors) and the agreement
-# snapshot validator over every checked-in snapshot. Invalid example
-# snapshots live under testdata/invalid/ and are exercised by tests.
+# Static analysis: the seven sharingvet analyzers (floateq, errwrap,
+# lockedio, netdeadline, plus the call-graph-aware lockorder, waljournal
+# and wiretag passes) and the agreement snapshot validator over every
+# checked-in snapshot. Invalid example snapshots live under
+# testdata/invalid/ and are exercised by tests.
 lint:
 	$(GO) run ./cmd/sharingvet ./...
 	$(GO) run ./cmd/agreements lint testdata/*.json
+
+# Regenerate the golden wire manifest after a deliberate protocol change.
+# The wiretag analyzer diffs internal/grm/codec.go against this file, so
+# tag renumbering or field reordering fails lint until it is re-written
+# here — making wire-format changes an explicit, reviewed diff.
+wire-manifest:
+	$(GO) run ./cmd/sharingvet -write-wire-manifest ./internal/grm
 
 check: build
 	$(GO) vet ./...

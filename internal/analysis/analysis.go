@@ -11,7 +11,9 @@
 //	//lint:ignore sharingvet/<analyzer> reason
 //
 // and a function's doc comment carrying the directive suppresses that
-// analyzer for the whole function body.
+// analyzer for the whole function body. One directive may name several
+// analyzers, comma-separated (the sharingvet/ prefix is optional per
+// name): //lint:ignore sharingvet/lockedio,netdeadline reason.
 package analysis
 
 import (
@@ -21,6 +23,7 @@ import (
 	"go/types"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named invariant checker.
@@ -45,6 +48,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags []Diagnostic
+	cg    *CallGraph // lazily built by Pass.CallGraph
 }
 
 // Diagnostic is one finding.
@@ -94,7 +98,22 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return kept, nil
 }
 
-var ignoreRE = regexp.MustCompile(`lint:ignore\s+(?:sharingvet/)?([A-Za-z0-9_]+)`)
+var ignoreRE = regexp.MustCompile(`lint:ignore\s+((?:(?:sharingvet/)?[A-Za-z0-9_]+)(?:\s*,\s*(?:sharingvet/)?[A-Za-z0-9_]+)*)`)
+
+// ignoreNames expands one matched directive argument into the analyzer
+// names it suppresses: comma-separated, each optionally prefixed with
+// sharingvet/.
+func ignoreNames(arg string) []string {
+	var names []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "sharingvet/")
+		if part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
 
 type suppressions struct {
 	// lines maps file -> line -> analyzer names suppressed at that line.
@@ -122,7 +141,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					if s.lines[fname] == nil {
 						s.lines[fname] = map[int][]string{}
 					}
-					s.lines[fname][line] = append(s.lines[fname][line], m[1])
+					s.lines[fname][line] = append(s.lines[fname][line], ignoreNames(m[1])...)
 				}
 			}
 		}
@@ -134,11 +153,13 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 			// Doc.Text() strips //lint:... directives, so match the raw list.
 			for _, c := range fd.Doc.List {
 				for _, m := range ignoreRE.FindAllStringSubmatch(c.Text, -1) {
-					s.spans[fname] = append(s.spans[fname], span{
-						name: m[1],
-						from: fset.Position(fd.Pos()).Line,
-						to:   fset.Position(fd.End()).Line,
-					})
+					for _, name := range ignoreNames(m[1]) {
+						s.spans[fname] = append(s.spans[fname], span{
+							name: name,
+							from: fset.Position(fd.Pos()).Line,
+							to:   fset.Position(fd.End()).Line,
+						})
+					}
 				}
 			}
 		}

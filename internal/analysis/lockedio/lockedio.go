@@ -74,6 +74,13 @@ var codecCalls = map[string]string{
 var transportMethods = map[string]string{
 	"Serve": "transport accept loop (blocks until Close)",
 	"Close": "transport shutdown (severs conns, waits for in-flight handlers)",
+	// The binary wire path (transport wire.go): framed request/response
+	// emission and the version handshake all block on the conn the
+	// FrameWriter/FrameReader wraps.
+	"WriteFrame": "frame write to the connection",
+	"ReadFrame":  "frame read from the connection",
+	"WriteHello": "handshake write to the connection",
+	"ReadHello":  "handshake read from the connection",
 }
 
 type checker struct {

@@ -1,0 +1,568 @@
+// Package lockorder implements the sharingvet lockorder analyzer: the
+// mutex-acquisition discipline of the layered GRM (grm.Server,
+// transport.Server, the LRM client wires, the pipeline scheduler).
+//
+// It builds, per package, a mutex-acquisition graph over the framework
+// call graph (internal/analysis CallGraph): mutexes are identified by
+// their owning type and field ("Server.mu", "binWire.wmu"), and an edge
+// A → B is recorded whenever B is acquired — directly or through any
+// resolved callee's may-acquire set — at a point where A is held on
+// every path. The analyzer reports:
+//
+//   - acquisition cycles (lock-order inversions): A → B somewhere and
+//     B → A somewhere else deadlock two goroutines; any cycle in the
+//     graph is reported once;
+//   - double acquisition: locking a mutex that is already held on every
+//     path (sync.Mutex is not reentrant — this is a guaranteed
+//     self-deadlock), including a *Locked helper locking the mutex its
+//     suffix promises the caller already holds;
+//   - calls that may re-acquire a held mutex through their transitive
+//     may-acquire set;
+//   - the *Locked suffix convention: a method named *Locked on a
+//     receiver with mutex fields requires those mutexes held at entry.
+//     A caller must hold them on every path to the call; a caller that
+//     manages the same mutex itself but does not must-hold it at the
+//     call site is reported. A caller that never touches the mutex
+//     inherits the requirement instead (it is a pass-through helper,
+//     like the grm dispatch handlers), and an exported function that
+//     still carries an inherited requirement is reported — external
+//     callers cannot hold an unexported mutex.
+//
+// Held-ness is must-hold: lexical tracking with intersection at branch
+// joins, so a mutex released on any path is not considered held. The
+// optimistic unlock-solve-relock pattern in the GRM allocation paths is
+// therefore reported (the analyzer cannot see the path correlation
+// through the `locked` flag) and suppressed there with a justified
+// //lint:ignore. Function literals and go/defer statements are not
+// walked — the same blind spots the other sharingvet walkers have.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer checks mutex acquisition order and the *Locked convention.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the mutex-acquisition graph; flags cycles, double acquisition, and *Locked-suffix convention violations",
+	Run:  run,
+}
+
+var lockCalls = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockCalls = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// heldInfo describes one must-held mutex.
+type heldInfo struct {
+	pos   token.Pos
+	expr  string // source expression that locked it ("s.mu")
+	entry bool   // held by the *Locked entry convention, not a Lock call
+}
+
+type lockState map[string]heldInfo
+
+// edge is one acquisition-order edge with a witness position.
+type edge struct {
+	to  string
+	pos token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+	cg   *analysis.CallGraph
+	// directAcq and mayAcq map each function to the mutexes it acquires
+	// itself / transitively through resolved callees.
+	directAcq map[*types.Func]map[string]token.Pos
+	mayAcq    map[*types.Func]map[string]token.Pos
+	// requires maps each function to the mutexes its callers must hold:
+	// seeded by the *Locked suffix, propagated through pass-through
+	// callers by walkAll in propagate mode.
+	requires map[*types.Func]map[string]bool
+	// edges is the acquisition graph: edges[A] holds every B acquired
+	// while A was must-held.
+	edges map[string][]edge
+
+	report  bool // final pass: emit diagnostics and edges
+	changed bool // propagate pass: a requires set grew
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		cg:        pass.CallGraph(),
+		directAcq: map[*types.Func]map[string]token.Pos{},
+		mayAcq:    map[*types.Func]map[string]token.Pos{},
+		requires:  map[*types.Func]map[string]bool{},
+		edges:     map[string][]edge{},
+	}
+	c.buildAcquireSets()
+	c.seedRequires()
+	// Propagate inherited requirements to a fixpoint, then report.
+	for c.changed = true; c.changed; {
+		c.changed = false
+		c.walkAll(false)
+	}
+	c.report = true
+	c.walkAll(true)
+	c.reportExportedRequires()
+	c.reportCycles()
+	return nil
+}
+
+// buildAcquireSets computes the direct and transitive may-acquire sets.
+func (c *checker) buildAcquireSets() {
+	for _, f := range c.cg.Funcs() {
+		acq := map[string]token.Pos{}
+		ast.Inspect(c.cg.DeclOf(f).Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, _, kind := c.lockOp(n); kind > 0 {
+					if _, ok := acq[key]; !ok {
+						acq[key] = n.Pos()
+					}
+				}
+			}
+			return true
+		})
+		c.directAcq[f] = acq
+		may := make(map[string]token.Pos, len(acq))
+		for k, v := range acq {
+			may[k] = v
+		}
+		c.mayAcq[f] = may
+	}
+	c.cg.Fixpoint(func(f *types.Func) bool {
+		changed := false
+		for _, site := range c.cg.CalleesOf(f) {
+			for k, v := range c.mayAcq[site.Callee] {
+				if _, ok := c.mayAcq[f][k]; !ok {
+					c.mayAcq[f][k] = v
+					changed = true
+				}
+			}
+		}
+		return changed
+	})
+}
+
+// seedRequires marks every *Locked method with mutex-bearing receiver as
+// requiring those mutexes held at entry.
+func (c *checker) seedRequires() {
+	for _, f := range c.cg.Funcs() {
+		if !strings.HasSuffix(f.Name(), "Locked") {
+			continue
+		}
+		recv := analysis.RecvNamed(f)
+		fields := analysis.MutexFields(recv)
+		if len(fields) == 0 {
+			continue
+		}
+		req := map[string]bool{}
+		for _, field := range fields {
+			req[recv.Obj().Name()+"."+field] = true
+		}
+		c.requires[f] = req
+	}
+}
+
+// walkAll interprets every function body tracking the must-held set.
+func (c *checker) walkAll(report bool) {
+	for _, f := range c.cg.Funcs() {
+		entry := lockState{}
+		if req := c.requires[f]; len(req) > 0 {
+			decl := c.cg.DeclOf(f)
+			recvName := ""
+			if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+				recvName = decl.Recv.List[0].Names[0].Name
+			}
+			for key := range req {
+				expr := key
+				if i := strings.IndexByte(key, '.'); i >= 0 && recvName != "" {
+					expr = recvName + key[i:]
+				}
+				entry[key] = heldInfo{pos: decl.Name.Pos(), expr: expr, entry: true}
+			}
+		}
+		c.walkBlock(f, c.cg.DeclOf(f).Body.List, entry)
+	}
+}
+
+// walkBlock interprets a statement list; it returns the must-held set at
+// fall-through exit and whether the block always terminates.
+func (c *checker) walkBlock(f *types.Func, stmts []ast.Stmt, held lockState) (lockState, bool) {
+	for _, st := range stmts {
+		var terminated bool
+		held, terminated = c.walkStmt(f, st, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *checker) walkStmt(f *types.Func, st ast.Stmt, held lockState) (lockState, bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, expr, kind := c.lockOp(call); kind != 0 {
+				held = clone(held)
+				if kind > 0 {
+					c.onAcquire(f, key, expr, call.Pos(), held)
+					held[key] = heldInfo{pos: call.Pos(), expr: expr}
+				} else {
+					delete(held, key)
+				}
+				return held, false
+			}
+			if isTerminator(c.pass.TypesInfo, call) {
+				return held, true
+			}
+		}
+		c.checkCalls(f, st, held)
+		return held, false
+	case *ast.BlockStmt:
+		return c.walkBlock(f, st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.checkCalls(f, st.Init, held)
+		}
+		c.checkCalls(f, st.Cond, held)
+		thenExit, thenTerm := c.walkBlock(f, st.Body.List, clone(held))
+		if st.Else == nil {
+			if thenTerm {
+				return held, false
+			}
+			return intersect(thenExit, held), false
+		}
+		elseExit, elseTerm := c.walkStmt(f, st.Else, clone(held))
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return intersect(thenExit, elseExit), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.checkCalls(f, st.Init, held)
+		}
+		if st.Cond != nil {
+			c.checkCalls(f, st.Cond, held)
+		}
+		bodyExit, _ := c.walkBlock(f, st.Body.List, clone(held))
+		return intersect(held, bodyExit), false
+	case *ast.RangeStmt:
+		c.checkCalls(f, st.X, held)
+		bodyExit, _ := c.walkBlock(f, st.Body.List, clone(held))
+		return intersect(held, bodyExit), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				c.checkCalls(f, sw.Init, held)
+			}
+			if sw.Tag != nil {
+				c.checkCalls(f, sw.Tag, held)
+			}
+			body = sw.Body
+		} else {
+			body = st.(*ast.TypeSwitchStmt).Body
+		}
+		return c.walkClauses(f, body, held, false)
+	case *ast.SelectStmt:
+		return c.walkClauses(f, st.Body, held, true)
+	case *ast.LabeledStmt:
+		return c.walkStmt(f, st.Stmt, held)
+	case *ast.GoStmt, *ast.DeferStmt:
+		return held, false
+	case *ast.ReturnStmt:
+		c.checkCalls(f, st, held)
+		return held, true
+	default:
+		c.checkCalls(f, st, held)
+		return held, false
+	}
+}
+
+// walkClauses merges a switch or select body: the must-held exit is the
+// intersection over non-terminating clauses, plus the entry state when a
+// switch has no default (the no-match path falls through unchanged).
+func (c *checker) walkClauses(f *types.Func, body *ast.BlockStmt, held lockState, isSelect bool) (lockState, bool) {
+	var exits []lockState
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.checkCalls(f, cl.Comm, held)
+			}
+			stmts = cl.Body
+		}
+		clExit, clTerm := c.walkBlock(f, stmts, clone(held))
+		if !clTerm {
+			exits = append(exits, clExit)
+		}
+	}
+	if !hasDefault && !isSelect {
+		exits = append(exits, held)
+	}
+	if isSelect && !hasDefault && len(exits) == 0 && len(body.List) > 0 {
+		return held, true
+	}
+	if len(exits) == 0 {
+		if len(body.List) == 0 {
+			return held, false
+		}
+		if hasDefault {
+			return held, true
+		}
+		return held, false
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	return out, false
+}
+
+// onAcquire handles one direct Lock: double-acquisition and acquisition
+// edges from every must-held mutex.
+func (c *checker) onAcquire(f *types.Func, key, expr string, pos token.Pos, held lockState) {
+	if !c.report {
+		return
+	}
+	if prev, ok := held[key]; ok && prev.expr == expr {
+		if prev.entry {
+			c.pass.Reportf(pos, "%s is a *Locked helper: it must not acquire %s, which its caller already holds by convention", f.Name(), key)
+		} else {
+			c.pass.Reportf(pos, "%s acquired again while already held (not reentrant; first acquired at %s)", key, c.pass.Fset.Position(prev.pos))
+		}
+		return
+	}
+	for heldKey := range held {
+		if heldKey != key {
+			c.edges[heldKey] = append(c.edges[heldKey], edge{to: key, pos: pos})
+		}
+	}
+}
+
+// checkCalls inspects a statement or expression subtree for resolved
+// calls, applying the requires check and recording acquisition edges
+// through callee may-acquire sets.
+func (c *checker) checkCalls(f *types.Func, n ast.Node, held lockState) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			for _, site := range analysis.ResolveCall(c.pass.Pkg, c.pass.TypesInfo, node, c.cg.Decls()) {
+				c.checkCallSite(f, site.Callee, node.Pos(), held)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCallSite(f, callee *types.Func, pos token.Pos, held lockState) {
+	for key := range c.requires[callee] {
+		if _, ok := held[key]; ok {
+			continue
+		}
+		if _, manages := c.directAcq[f][key]; manages {
+			if c.report {
+				c.pass.Reportf(pos, "call to %s requires %s held, but it is not held on every path to this call", callee.Name(), key)
+			}
+		} else if !c.report {
+			// A pass-through helper inherits the requirement.
+			if c.requires[f] == nil {
+				c.requires[f] = map[string]bool{}
+			}
+			if !c.requires[f][key] {
+				c.requires[f][key] = true
+				c.changed = true
+			}
+		}
+	}
+	if !c.report {
+		return
+	}
+	for acqKey := range c.mayAcq[callee] {
+		if _, ok := held[acqKey]; ok {
+			if _, isRequired := c.requires[callee][acqKey]; !isRequired {
+				c.pass.Reportf(pos, "call to %s may acquire %s, which is already held here (possible self-deadlock)", callee.Name(), acqKey)
+			}
+			continue
+		}
+		for heldKey := range held {
+			c.edges[heldKey] = append(c.edges[heldKey], edge{to: acqKey, pos: pos})
+		}
+	}
+}
+
+// reportExportedRequires flags exported functions that inherited a mutex
+// requirement: their callers live outside the package and cannot hold an
+// unexported mutex.
+func (c *checker) reportExportedRequires() {
+	for _, f := range c.cg.Funcs() {
+		if !f.Exported() || strings.HasSuffix(f.Name(), "Locked") {
+			continue
+		}
+		var keys []string
+		for key := range c.requires[f] {
+			keys = append(keys, key)
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		c.pass.Reportf(c.cg.DeclOf(f).Name.Pos(),
+			"exported %s requires %s held by its caller (inherited from a *Locked callee); external callers cannot hold it",
+			f.Name(), strings.Join(keys, ", "))
+	}
+}
+
+// reportCycles finds cycles in the acquisition graph and reports each
+// once, anchored at a witness edge.
+func (c *checker) reportCycles() {
+	keys := make([]string, 0, len(c.edges))
+	for k := range c.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, es := range c.edges {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	seen := map[string]bool{}
+	var path []string
+	onPath := map[string]int{}
+	var dfs func(node string)
+	dfs = func(node string) {
+		if i, ok := onPath[node]; ok {
+			cycle := append([]string(nil), path[i:]...)
+			canon := canonicalCycle(cycle)
+			if !seen[canon] {
+				seen[canon] = true
+				pos := c.edges[cycle[0]][0].pos
+				for _, e := range c.edges[cycle[0]] {
+					if e.to == cycle[(1)%len(cycle)] {
+						pos = e.pos
+						break
+					}
+				}
+				c.pass.Reportf(pos, "lock order cycle: %s → %s", strings.Join(cycle, " → "), cycle[0])
+			}
+			return
+		}
+		onPath[node] = len(path)
+		path = append(path, node)
+		for _, e := range c.edges[node] {
+			dfs(e.to)
+		}
+		path = path[:len(path)-1]
+		delete(onPath, node)
+	}
+	for _, k := range keys {
+		dfs(k)
+	}
+}
+
+// canonicalCycle rotates a cycle so its smallest key leads, giving a
+// stable dedupe token.
+func canonicalCycle(cycle []string) string {
+	min := 0
+	for i, k := range cycle {
+		if k < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "→")
+}
+
+// lockOp classifies a call as +1 (lock) / -1 (unlock), returning the
+// type-qualified mutex key ("Server.mu") and the source expression.
+func (c *checker) lockOp(call *ast.CallExpr) (key, expr string, kind int) {
+	full := analysis.MethodFullName(c.pass.TypesInfo, call)
+	switch {
+	case lockCalls[full]:
+		kind = 1
+	case unlockCalls[full]:
+		kind = -1
+	default:
+		return "", "", 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", 0
+	}
+	expr = types.ExprString(sel.X)
+	key = expr
+	// A mutex that is a struct field is keyed by its owning type, so
+	// "s.mu" and "srv.mu" in different functions name the same lock.
+	if fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if tv, ok := c.pass.TypesInfo.Types[fieldSel.X]; ok {
+			t := tv.Type
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				key = named.Obj().Name() + "." + fieldSel.Sel.Name
+			}
+		}
+	}
+	return key, expr, kind
+}
+
+func isTerminator(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	return analysis.MethodFullName(info, call) == "os.Exit"
+}
+
+func clone(m lockState) lockState {
+	out := make(lockState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b lockState) lockState {
+	out := lockState{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}

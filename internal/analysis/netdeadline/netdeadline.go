@@ -34,6 +34,18 @@ var codecOps = map[string]bool{
 	"(*encoding/json.Decoder).Decode": true,
 }
 
+// frameOps are the binary wire path's I/O entry points (transport
+// wire.go): framed request/response exchange and the version handshake
+// block on the conn the FrameReader/FrameWriter wraps, so they need the
+// same deadline coverage as a raw Read/Write. Classified by callee
+// package name + function name, like lockedio's transport table.
+var frameOps = map[string]bool{
+	"WriteFrame": true,
+	"ReadFrame":  true,
+	"WriteHello": true,
+	"ReadHello":  true,
+}
+
 func run(pass *analysis.Pass) error {
 	conn := analysis.LookupIface(pass.Pkg, "net", "Conn")
 	if conn == nil {
@@ -93,6 +105,13 @@ func checkFunc(pass *analysis.Pass, conn *types.Interface, fd *ast.FuncDecl) {
 		if codecOps[full] {
 			if connInScope && !anchored(call.Pos()) {
 				pass.Reportf(call.Pos(), "conn-backed %s with no Set*Deadline earlier in the function: a stalled peer blocks forever", full)
+			}
+			return true
+		}
+		if callee := analysis.Callee(pass.TypesInfo, call); callee != nil &&
+			callee.Pkg() != nil && callee.Pkg().Name() == "transport" && frameOps[callee.Name()] {
+			if connInScope && !anchored(call.Pos()) {
+				pass.Reportf(call.Pos(), "conn-backed %s with no Set*Deadline earlier in the function: a stalled peer blocks forever", callee.Name())
 			}
 			return true
 		}

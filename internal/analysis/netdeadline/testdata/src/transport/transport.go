@@ -1,28 +1,8 @@
 // Package transport is the golden-test stand-in for the GRM's transport
-// layer (internal/grm/transport): same package name, same entry points.
-// The lockedio analyzer classifies Serve and Close as connection I/O by
-// callee package name + method, so these stubs need no real bodies.
+// layer: the netdeadline analyzer classifies the frame and handshake
+// entry points below as conn-backed I/O by callee package name +
+// function name, so these stubs need no real bodies.
 package transport
-
-import (
-	"net"
-	"time"
-)
-
-// Server mirrors transport.Server's surface.
-type Server struct{}
-
-// Serve blocks in the accept loop until Close (stub).
-func (s *Server) Serve(l net.Listener) error { return nil }
-
-// Close severs connections and waits for in-flight handlers (stub).
-func (s *Server) Close() error { return nil }
-
-// SetTimeouts is configuration only — never classified as I/O.
-func (s *Server) SetTimeouts(idle, write time.Duration) {}
-
-// Addr is configuration only — never classified as I/O.
-func (s *Server) Addr() net.Addr { return nil }
 
 // FrameWriter mirrors the binary wire's frame emitter (stub).
 type FrameWriter struct{}

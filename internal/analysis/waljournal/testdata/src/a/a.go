@@ -1,0 +1,79 @@
+// Package a is the waljournal golden corpus: a miniature Server whose
+// journaled fields must only be written in *Locked helpers that reach
+// appendLocked.
+package a
+
+import "sync"
+
+type record struct{ kind int }
+
+type system struct{ epoch int }
+
+type Server struct {
+	mu     sync.Mutex
+	sys    *system     // wal:journaled
+	avail  []float64   // wal:journaled
+	leases map[int]int // wal:journaled
+	next   int         // wal:journaled
+	seq    int         // volatile bookkeeping, not journaled
+}
+
+// appendLocked is the single point where records enter the log.
+func (s *Server) appendLocked(r *record) { s.seq++ }
+
+// commitLocked journals every mutation it makes: clean.
+func (s *Server) commitLocked(tok int, take float64) {
+	s.avail[0] -= take
+	s.leases[tok] = tok
+	s.next++
+	s.appendLocked(&record{kind: 1})
+}
+
+// releaseLocked reaches appendLocked through a helper: clean.
+func (s *Server) releaseLocked(tok int) {
+	delete(s.leases, tok)
+	s.noteLocked()
+}
+
+func (s *Server) noteLocked() { s.appendLocked(&record{kind: 2}) }
+
+// drop mutates journaled state outside any *Locked helper.
+func (s *Server) drop(tok int) {
+	s.mu.Lock()
+	delete(s.leases, tok) // want `drop writes journaled field Server\.leases outside a \*Locked helper`
+	s.mu.Unlock()
+}
+
+// creditLocked is *Locked but never reaches the log.
+func (s *Server) creditLocked(take float64) {
+	s.avail[0] += take // want `creditLocked writes journaled field Server\.avail but its call graph never reaches appendLocked`
+}
+
+// bumpEpoch writes through a nested selector chain rooted at a journaled
+// field.
+func (s *Server) bumpEpoch() {
+	s.sys.epoch++ // want `bumpEpoch writes journaled field Server\.sys outside a \*Locked helper`
+}
+
+// closure writes inside a function literal are attributed to the
+// enclosing declaration.
+func (s *Server) viaClosure() {
+	f := func() {
+		s.next = 0 // want `viaClosure writes journaled field Server\.next outside a \*Locked helper`
+	}
+	f()
+}
+
+// installLocked intentionally skips the log: its only caller journals the
+// whole snapshot. The justification rides on the directive.
+//
+//lint:ignore sharingvet/waljournal callers append a full snapshot record
+func (s *Server) installLocked(avail []float64) {
+	s.avail = avail
+}
+
+// touchSeq writes only volatile state: clean.
+func (s *Server) touchSeq() { s.seq = 0 }
+
+// reader never writes: clean.
+func (s *Server) reader() float64 { return s.avail[0] }

@@ -1,0 +1,73 @@
+package waljournal_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waljournal"
+)
+
+func TestWalJournal(t *testing.T) {
+	analysistest.Run(t, waljournal.Analyzer, "a")
+}
+
+// mutationSrc journals its one mutation; the smoke test deletes the
+// appendLocked call and asserts the skipped journal entry is caught.
+const mutationSrc = `package m
+
+type record struct{ kind int }
+
+type Server struct {
+	leases map[int]int // wal:journaled
+	seq    int
+}
+
+func (s *Server) appendLocked(r *record) { s.seq++ }
+
+func (s *Server) releaseLocked(tok int) {
+	delete(s.leases, tok)
+	s.appendLocked(&record{kind: 1}) // JOURNAL
+}
+`
+
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(dir, "m")
+	if err != nil {
+		t.Fatalf("load mutated package: %v", err)
+	}
+	diags, err := analysis.Run(waljournal.Analyzer, loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// TestMutationJournalSkipped proves the analyzer catches a seeded
+// journal-skipping bug: removing the appendLocked call from an otherwise
+// clean helper produces a finding.
+func TestMutationJournalSkipped(t *testing.T) {
+	if diags := runOnSource(t, mutationSrc); len(diags) != 0 {
+		t.Fatalf("pristine package must be clean, got %v", diags)
+	}
+	mutated := strings.Replace(mutationSrc, "\ts.appendLocked(&record{kind: 1}) // JOURNAL\n", "", 1)
+	diags := runOnSource(t, mutated)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "never reaches appendLocked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("journal-skipping mutation not caught; diagnostics: %v", diags)
+	}
+}

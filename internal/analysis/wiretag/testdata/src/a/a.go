@@ -1,0 +1,86 @@
+// Package a is the wiretag golden corpus: its manifest was generated
+// from an older revision of this codec, so every class of drift is
+// present — a renumbered tag, a reused value, a reordered field pair, a
+// removed kind, and a brand-new kind.
+package a
+
+import "fmt"
+
+// The manifest remembers kindShare=3 and kindRevoke=4; they were swapped
+// here. kindDup reuses kindAlloc's value outright. kindCaps was removed,
+// and kindPeers is new.
+const ( // want `wire kind kindCaps \(tag 6\) removed from the codec`
+	kindNone = iota
+	kindRegister
+	kindReport
+	kindRevoke // want `wire kind kindRevoke renumbered: wire_manifest\.json says 4, source says 3`
+	kindShare  // want `wire kind kindShare renumbered: wire_manifest\.json says 3, source says 4`
+	kindAlloc
+	kindDup   = kindAlloc // want `wire tag 5 reused by kindAlloc and kindDup`
+	kindPeers = 7         // want `wire kind kindPeers \(tag 7\) is not in wire_manifest\.json`
+)
+
+type Request struct {
+	Register *RegisterRequest
+	Report   *ReportRequest
+	Share    *ShareRequest
+}
+
+type RegisterRequest struct {
+	Name     string
+	Capacity float64
+}
+
+type ReportRequest struct {
+	Principal int
+	Available float64
+}
+
+type ShareRequest struct {
+	From, To int
+}
+
+type Response struct {
+	Err      string
+	Register *RegisterReply
+}
+
+type RegisterReply struct{ Principal int }
+
+func AppendUvarint(dst []byte, v uint64) []byte  { return dst }
+func AppendString(dst []byte, s string) []byte   { return dst }
+func AppendFloat64(dst []byte, f float64) []byte { return dst }
+func AppendInt(dst []byte, v int64) []byte       { return dst }
+
+func appendRequest(dst []byte, req *Request) ([]byte, error) {
+	switch {
+	// The manifest says Name then Capacity; the pair was swapped.
+	case req.Register != nil: // want `request field layout for kindRegister changed: wire_manifest\.json says \[String Float64\], source says \[Float64 String\]`
+		dst = AppendUvarint(dst, kindRegister)
+		dst = AppendFloat64(dst, req.Register.Capacity)
+		dst = AppendString(dst, req.Register.Name)
+	case req.Report != nil:
+		dst = AppendUvarint(dst, kindReport)
+		dst = AppendInt(dst, int64(req.Report.Principal))
+		dst = AppendFloat64(dst, req.Report.Available)
+	case req.Share != nil:
+		dst = AppendUvarint(dst, kindShare)
+		dst = AppendInt(dst, int64(req.Share.From))
+		dst = AppendInt(dst, int64(req.Share.To))
+	default:
+		return nil, fmt.Errorf("encode request with no payload")
+	}
+	return dst, nil
+}
+
+func appendResponse(dst []byte, resp *Response) ([]byte, error) {
+	dst = AppendString(dst, resp.Err)
+	switch {
+	case resp.Register != nil:
+		dst = AppendUvarint(dst, kindRegister)
+		dst = AppendInt(dst, int64(resp.Register.Principal))
+	default:
+		dst = AppendUvarint(dst, kindNone)
+	}
+	return dst, nil
+}

@@ -1,0 +1,14 @@
+// Package c declares wire kind tags but has never generated a manifest:
+// the analyzer demands one.
+package c
+
+const ( // want `package defines wire kind tags but has no wire_manifest\.json`
+	kindNone = iota
+	kindEcho
+)
+
+func AppendUvarint(dst []byte, v uint64) []byte { return dst }
+
+func appendRequest(dst []byte) []byte {
+	return AppendUvarint(dst, kindEcho)
+}

@@ -183,6 +183,7 @@ func (s *Server) processBatch(jobs []*allocJob) {
 				replies[i] = errorf("grm: alloc: %v", res.Err)
 				continue
 			}
+			//lint:ignore sharingvet/lockorder held under the optimistic protocol: the unlock/relock pair is guarded by the same locked flag on every path
 			token, ttl := s.commitAllocLocked(job.req, res.Alloc.Take, nil, 0)
 			replies[i] = &Response{Alloc: &AllocReply{
 				Takes: append([]float64(nil), res.Alloc.Take...),
@@ -354,6 +355,7 @@ func (s *Server) allocDirect(r *AllocRequest) *Response {
 		}
 		// Commit the GRM's availability view; LRMs overwrite it with
 		// their next reports, and Release returns the lease.
+		//lint:ignore sharingvet/lockorder held under the optimistic protocol: the unlock/relock pair is guarded by the same locked flag on every path
 		token, ttl := s.commitAllocLocked(r, plan.Take, borrowedFrom, parentLease)
 		return &Response{Alloc: &AllocReply{Takes: plan.Take, Theta: plan.Theta, Lease: token, TTL: ttl}}
 	}

@@ -701,6 +701,7 @@ func (w *binWire) do(req *Request, timeout time.Duration) (*Response, error) {
 	} else {
 		w.conn.SetWriteDeadline(time.Time{})
 	}
+	//lint:ignore sharingvet/lockedio wmu exists to serialize frame emission; the write deadline above bounds the hold time
 	err := w.fw.WriteFrame(id, func(dst []byte) ([]byte, error) {
 		return appendRequest(dst, req)
 	})

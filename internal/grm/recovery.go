@@ -167,8 +167,7 @@ func (s *Server) applyLocked(rec *store.Record) error {
 		if !ok {
 			return fmt.Errorf("unknown lease %d", rec.Lease)
 		}
-		delete(s.leases, rec.Lease)
-		s.creditLocked(le.takes)
+		s.removeLeaseLocked(rec.Kind, rec.Lease, le)
 		return nil
 	case store.KindRenew:
 		le, ok := s.leases[rec.Lease]

@@ -54,19 +54,23 @@ type shareInfo struct {
 type Server struct {
 	cfg core.Config
 
+	// Fields marked wal:journaled are the durable state: every mutation
+	// must happen in a *Locked helper whose call graph reaches
+	// appendLocked, so that recovery replays it (enforced by
+	// sharingvet/waljournal).
 	mu        sync.Mutex
-	sys       *agreement.System
-	resources []agreement.ResourceID
-	tickets   []agreement.TicketID // ticket token -> system ticket
-	shareHist []shareInfo          // ticket token -> wire parameters
-	avail     []float64
-	reported  []float64 // last reported capacity per principal (release cap)
-	names     []string
-	planner   *core.Allocator // rebuilt lazily after structural changes
+	sys       *agreement.System      // wal:journaled
+	resources []agreement.ResourceID // wal:journaled
+	tickets   []agreement.TicketID   // ticket token -> system ticket; wal:journaled
+	shareHist []shareInfo            // ticket token -> wire parameters; wal:journaled
+	avail     []float64              // wal:journaled
+	reported  []float64              // last reported capacity per principal (release cap); wal:journaled
+	names     []string               // wal:journaled
+	planner   *core.Allocator        // rebuilt lazily after structural changes
 	parent    *parentLink
-	attaching bool // AttachParent reservation held across the parent dial
-	leases    map[int]*lease
-	nextLease int
+	attaching bool           // AttachParent reservation held across the parent dial
+	leases    map[int]*lease // wal:journaled
+	nextLease int            // wal:journaled
 
 	// epoch counts state changes that could invalidate an in-flight plan:
 	// availability edits, agreement edits, and lease commits. alloc
@@ -82,7 +86,7 @@ type Server struct {
 	// log as a store.Record with a strictly increasing seq. nil = volatile.
 	log          store.Log
 	seq          uint64
-	declaredSnap []byte // preloaded agreement snapshot JSON, for compaction
+	declaredSnap []byte // preloaded agreement snapshot JSON, for compaction; wal:journaled
 
 	// clock drives the lease lifecycle (expiry stamps, the reaper's
 	// ticker). Real time by default; the model-based testing harness and
@@ -260,7 +264,12 @@ func (s *Server) LoadSnapshot(snap *agreement.Snapshot) error {
 
 // installSnapshotLocked restores the agreement system from a validated
 // snapshot and seeds the books from its declared capacities. raw is the
-// snapshot's JSON, kept for compaction. Callers hold s.mu.
+// snapshot's JSON, kept for compaction. It appends nothing itself: both
+// callers journal the whole snapshot — LoadSnapshot appends the
+// KindSnapshotLoad record right after, and replay re-derives the state
+// from that record. Callers hold s.mu.
+//
+//lint:ignore sharingvet/waljournal callers journal the full snapshot as one KindSnapshotLoad record
 func (s *Server) installSnapshotLocked(snap *agreement.Snapshot, raw []byte) error {
 	sys, principals, err := snap.Restore()
 	if err != nil {

@@ -10,7 +10,25 @@ import (
 var (
 	clusterSeedFlag  = flag.Int64("cluster-seed", 1, "seed for the cluster schedule")
 	clusterStepsFlag = flag.Int("cluster-steps", 120, "operations per cluster run")
+	clusterWireFlag  = flag.String("cluster-wire", "auto", "wire codec the LRMs speak: auto, binary, or gob")
 )
+
+// clusterWire maps -cluster-wire to the codec every cluster test runs
+// under, so CI can matrix the whole model suite over both wire formats.
+func clusterWire(t *testing.T) grm.WireCodec {
+	t.Helper()
+	switch *clusterWireFlag {
+	case "auto":
+		return grm.CodecAuto
+	case "binary":
+		return grm.CodecBinary
+	case "gob":
+		return grm.CodecGob
+	default:
+		t.Fatalf("unknown -cluster-wire %q (want auto, binary, or gob)", *clusterWireFlag)
+		return grm.CodecAuto
+	}
+}
 
 // TestModelCluster drives a real GRM + LRM cluster through the seeded
 // schedule and checks the server's books against the independent ledger
@@ -18,7 +36,7 @@ var (
 // go test ./internal/modeltest -run TestModelCluster -cluster-seed <s>
 func TestModelCluster(t *testing.T) {
 	for _, seed := range []int64{*clusterSeedFlag, *clusterSeedFlag + 1, *clusterSeedFlag + 2} {
-		rep, err := RunCluster(ClusterOptions{Seed: seed, Steps: *clusterStepsFlag})
+		rep, err := RunCluster(ClusterOptions{Seed: seed, Steps: *clusterStepsFlag, Codec: clusterWire(t)})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -32,11 +50,11 @@ func TestModelCluster(t *testing.T) {
 // TestModelClusterDeterministic: the same seed must produce a
 // byte-identical trace — the replay contract for protocol-level failures.
 func TestModelClusterDeterministic(t *testing.T) {
-	a, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 80})
+	a, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 80, Codec: clusterWire(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 80})
+	b, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 80, Codec: clusterWire(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +75,7 @@ func TestModelClusterDeterministic(t *testing.T) {
 // exercises the interesting transitions: allocations, lease expiry via
 // clock advance, and connection kills followed by reconnects.
 func TestModelClusterCoversOps(t *testing.T) {
-	rep, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 200})
+	rep, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: 200, Codec: clusterWire(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +100,7 @@ func TestModelClusterCoversOps(t *testing.T) {
 // trace — restarts included — must replay byte-for-byte.
 func TestModelClusterRestart(t *testing.T) {
 	const steps = 200
-	a, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps})
+	a, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps, Codec: clusterWire(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +124,7 @@ func TestModelClusterRestart(t *testing.T) {
 		t.Errorf("no restart happened with leases outstanding; recovery of live leases untested")
 	}
 
-	b, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps})
+	b, err := RunCluster(ClusterOptions{Seed: *clusterSeedFlag, Steps: steps, Codec: clusterWire(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
