@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check modeltest bench bench-json loadgen-json fuzz wire-manifest clean
+.PHONY: build test race lint check modeltest bench bench-json bench-compare loadgen-json fuzz wire-manifest clean
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,19 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) \
 		./internal/core/ ./internal/transitive/ ./internal/lp/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+# Regression gate over the committed bench trajectory: every current
+# ns/op in BENCH_hotpath.json must stay within BENCH_TOLERANCE percent
+# of its frozen baseline after machine-drift normalization (benchjson
+# divides each ratio by the suite-wide median, so a uniformly slower
+# recording machine cancels out). This runs on the committed numbers
+# (recorded at full benchtime by make bench-json), so CI needs no
+# timing fidelity of its own — a regression only lands if someone
+# commits a current snapshot where a benchmark got slower relative to
+# the rest of the suite.
+BENCH_TOLERANCE ?= 50
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_TOLERANCE) BENCH_hotpath.json
 
 # Transport comparison suite: cmd/loadgen drives an in-process GRM over
 # both wire codecs (gob at its protocol-limited depth 1, binary

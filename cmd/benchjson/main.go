@@ -16,6 +16,20 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/core/ | benchjson -out BENCH_hotpath.json
+//
+// With -compare the tool reads no stdin: it loads the named files (the
+// -out file when none are given) and diffs each one's current snapshot
+// against its frozen baseline. Because snapshots are recorded on
+// whatever machine ran `make bench-json`, raw ns/op is not comparable
+// across recordings; the comparison first estimates the machine-drift
+// factor as the median current/baseline ratio over all shared
+// benchmarks, then judges each benchmark's drift-normalized delta. It
+// exits non-zero when any normalized delta exceeds -threshold percent —
+// i.e. when a benchmark got slower relative to the rest of the suite,
+// which survives a uniformly faster or slower recording machine. This
+// is the CI bench-regression gate (make bench-compare):
+//
+//	benchjson -compare -threshold 50 BENCH_hotpath.json
 package main
 
 import (
@@ -58,7 +72,25 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "JSON file to write/update")
 	comment := flag.String("comment", "", "set the file-level comment (kept as-is when empty)")
+	compare := flag.Bool("compare", false, "diff current vs baseline in the named files (default: the -out file) and exit non-zero on regression")
+	threshold := flag.Float64("threshold", 50, "percent drift-normalized ns/op regression tolerated in -compare mode")
 	flag.Parse()
+
+	if *compare {
+		files := flag.Args()
+		if len(files) == 0 {
+			files = []string{*out}
+		}
+		bad := 0
+		for _, f := range files {
+			bad += compareFile(f, *threshold)
+		}
+		if bad > 0 {
+			fatal("%d benchmark(s) regressed more than %.0f%% vs baseline after drift normalization", bad, *threshold)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: no regressions beyond threshold")
+		return
+	}
 
 	snap := &Snapshot{
 		Captured:   time.Now().UTC().Format(time.RFC3339),
@@ -131,6 +163,96 @@ func main() {
 
 	report(doc.Baseline, doc.Current)
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// compareFile diffs one trajectory file's current snapshot against its
+// baseline and returns the number of benchmarks whose ns/op regressed
+// beyond threshold percent after machine-drift normalization: the two
+// snapshots come from different `make bench-json` runs on possibly
+// different hardware, so each benchmark's raw current/baseline ratio is
+// divided by the suite-wide median ratio before judging. A uniform
+// slowdown (slower recording machine) cancels out; a benchmark that got
+// slower relative to its peers does not. Benchmarks present in only one
+// snapshot are reported but never fail the comparison: new benchmarks
+// have no reference, and retired ones have no current number to police.
+func compareFile(path string, threshold float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read %s: %v", path, err)
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal("parse %s: %v", path, err)
+	}
+	if doc.Baseline == nil || doc.Current == nil {
+		fatal("%s: missing baseline or current snapshot", path)
+	}
+	names := make([]string, 0, len(doc.Current.Benchmarks))
+	for name := range doc.Current.Benchmarks {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	var ratios []float64
+	for _, name := range names {
+		if b, ok := doc.Baseline.Benchmarks[name]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, doc.Current.Benchmarks[name].NsPerOp/b.NsPerOp)
+		}
+	}
+	drift := median(ratios)
+	if drift <= 0 {
+		drift = 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: machine drift estimate %+.1f%% (median over %d shared benchmarks)\n",
+		path, 100*(drift-1), len(ratios))
+	bad := 0
+	for _, name := range names {
+		c := doc.Current.Benchmarks[name]
+		b, ok := doc.Baseline.Benchmarks[name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "%-*s %12.0f ns/op  (no baseline)\n", w, name, c.NsPerOp)
+			continue
+		}
+		raw := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		norm := 100 * (c.NsPerOp/b.NsPerOp/drift - 1)
+		verdict := "ok"
+		if norm > threshold {
+			verdict = "REGRESSED"
+			bad++
+		}
+		fmt.Fprintf(os.Stderr, "%-*s %12.0f ns/op  %+7.1f%% raw  %+7.1f%% normalized  %s\n", w, name, c.NsPerOp, raw, norm, verdict)
+	}
+	for name := range doc.Baseline.Benchmarks {
+		if _, ok := doc.Current.Benchmarks[name]; !ok {
+			fmt.Fprintf(os.Stderr, "%-*s %12s  (baseline only; not in current run)\n", w, name, "-")
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d of %d benchmarks regressed beyond %.0f%% normalized\n",
+		path, bad, len(names), threshold)
+	return bad
+}
+
+// median returns the middle value of xs (mean of the middle pair for
+// even counts); 0 for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // report prints a current-vs-baseline table to stderr.

@@ -72,7 +72,7 @@ func main() {
 		arrival  = flag.String("arrival", "poisson", "open-loop inter-arrival distribution: poisson or uniform")
 		duration = flag.Duration("duration", 2*time.Second, "measured run length (after warmup)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warmup before measurement")
-		op       = flag.String("op", "mixed", "operation mix: ping, report, or mixed")
+		op       = flag.String("op", "mixed", "operation mix: ping, report, mixed, or share (agreement churn: share/revoke cycles with periodic allocate+release)")
 		rtt      = flag.Duration("rtt", time.Millisecond, "simulated network round-trip time injected on the client side (0 = raw loopback)")
 		ramp     = flag.String("ramp", "", "comma-separated connection counts; runs the closed loop at each")
 		jsonOut  = flag.String("json", "", "run the gob-vs-binary comparison suite and write this JSON file")
@@ -163,6 +163,7 @@ type runConfig struct {
 type result struct {
 	Codec       string  `json:"codec"`
 	Mode        string  `json:"mode"`
+	Op          string  `json:"op,omitempty"`
 	Conns       int     `json:"conns"`
 	Depth       int     `json:"depth,omitempty"`
 	RTTms       float64 `json:"rtt_ms"`
@@ -187,6 +188,8 @@ func printResult(r result) {
 // buffer (so measurement itself does not allocate) and an op counter.
 type worker struct {
 	lrm     *grm.LRM
+	peers   int          // connections in this run; bounds share targets
+	ticket  atomic.Int64 // live share ticket for the churn mix, -1 if none
 	ops     atomic.Int64
 	errs    atomic.Int64
 	samples []float64 // milliseconds; sampled 1-in-sampleEvery
@@ -200,10 +203,46 @@ const (
 
 // doOp runs one operation of the configured mix; n sequences the mix and
 // the report values.
-func doOp(l *grm.LRM, op string, n int64) error {
+func doOp(w *worker, op string, n int64) error {
+	l := w.lrm
 	switch {
 	case op == "ping" || (op == "mixed" && n%4 != 0):
 		return l.Ping()
+	case op == "share":
+		return w.churnOp(n)
+	default:
+		return l.Report(float64(50 + n%32))
+	}
+}
+
+// churnOp is one step of the agreement-churn mix: share/revoke cycles
+// interleaved with allocate+release pairs (so the server holds a live
+// planner to patch incrementally on every share and rebuild on every
+// revoke) and availability reports. The live ticket alternates through
+// an atomic so concurrent pipeline lanes on the same connection never
+// double-revoke.
+func (w *worker) churnOp(n int64) error {
+	l := w.lrm
+	switch n % 4 {
+	case 0, 2:
+		if t := w.ticket.Swap(-1); t >= 0 {
+			return l.Revoke(int(t))
+		}
+		if w.peers < 2 {
+			return l.Report(float64(50 + n%32))
+		}
+		tk, err := l.ShareRelative((l.Principal()+1)%w.peers, 0.05)
+		if err != nil {
+			return err
+		}
+		w.ticket.Store(int64(tk))
+		return nil
+	case 1:
+		reply, err := l.Allocate(0.5)
+		if err != nil {
+			return err
+		}
+		return l.Release(reply.Lease)
 	default:
 		return l.Report(float64(50 + n%32))
 	}
@@ -212,7 +251,7 @@ func doOp(l *grm.LRM, op string, n int64) error {
 // measure times one op into the worker's sample buffer.
 func (w *worker) measure(op string, n int64) {
 	start := time.Now()
-	err := doOp(w.lrm, op, n)
+	err := doOp(w, op, n)
 	elapsed := time.Since(start)
 	if err != nil {
 		w.errs.Add(1)
@@ -252,7 +291,9 @@ func dialWorkers(cfg runConfig, wc grm.WireCodec, conns int) ([]*worker, error) 
 			}
 			return nil, fmt.Errorf("dial worker %d: %w", i, err)
 		}
-		workers[i] = &worker{lrm: lrm, samples: make([]float64, 0, sampleCap)}
+		w := &worker{lrm: lrm, peers: conns, samples: make([]float64, 0, sampleCap)}
+		w.ticket.Store(-1)
+		workers[i] = w
 	}
 	return workers, nil
 }
@@ -319,7 +360,7 @@ func runClosed(cfg runConfig, wc grm.WireCodec, conns, depth int) result {
 				for n := lane; !stop.Load(); n++ {
 					if measuring.Load() {
 						w.measure(cfg.op, n)
-					} else if err := doOp(w.lrm, cfg.op, n); err != nil {
+					} else if err := doOp(w, cfg.op, n); err != nil {
 						w.errs.Add(1)
 					}
 				}
@@ -344,7 +385,7 @@ func runClosed(cfg runConfig, wc grm.WireCodec, conns, depth int) result {
 	wg.Wait()
 
 	r := collect(workers, result{
-		Codec: wc.String(), Mode: "closed", Conns: conns, Depth: depth,
+		Codec: wc.String(), Mode: "closed", Op: cfg.op, Conns: conns, Depth: depth,
 		RTTms: float64(cfg.rtt) / 1e6,
 	}, elapsed)
 	if cfg.inProcess && r.Ops > 0 {
@@ -391,7 +432,7 @@ func runOpen(cfg runConfig, wc grm.WireCodec, conns int, rate float64, arrival s
 			defer wg.Done()
 			for born := range arrivals {
 				n := seq.Add(1)
-				err := doOp(w.lrm, cfg.op, n)
+				err := doOp(w, cfg.op, n)
 				elapsed := time.Since(born)
 				if err != nil {
 					w.errs.Add(1)
@@ -429,7 +470,7 @@ func runOpen(cfg runConfig, wc grm.WireCodec, conns int, rate float64, arrival s
 	elapsed := time.Since(start)
 
 	r := collect(workers, result{
-		Codec: wc.String(), Mode: "open", Conns: conns,
+		Codec: wc.String(), Mode: "open", Op: cfg.op, Conns: conns,
 		RatePerSec: rate, Arrival: arrival,
 		RTTms: float64(cfg.rtt) / 1e6,
 	}, elapsed)
@@ -447,6 +488,7 @@ type benchFile struct {
 	CodecCost     codecCost   `json:"codec_cost"`
 	BaselineGob   *result     `json:"baseline_gob"`
 	CurrentBinary *result     `json:"current_binary"`
+	ChurnShare    *result     `json:"churn_share,omitempty"`
 	Ramp          []result    `json:"ramp,omitempty"`
 	Improvement   improvement `json:"improvement"`
 }
@@ -516,6 +558,15 @@ func runSuite(path string, cfg runConfig, conns, depth int, logger *log.Logger) 
 	logger.Printf("measuring binary (%d conns, depth %d, rtt %v)...", conns, depth, cfg.rtt)
 	binRes := runClosed(cfg, grm.CodecBinary, conns, depth)
 	file.CurrentBinary = &binRes
+
+	// Agreement churn: the -op share mix keeps the server's planner under
+	// constant share/revoke pressure with periodic allocations, so this
+	// section tracks the incremental planner-patch path end to end.
+	logger.Printf("measuring agreement churn (binary, %d conns, depth %d, rtt %v)...", conns, depth, cfg.rtt)
+	churnCfg := cfg
+	churnCfg.op = "share"
+	churnRes := runClosed(churnCfg, grm.CodecBinary, conns, depth)
+	file.ChurnShare = &churnRes
 
 	for _, c := range []int{1, 2, conns} {
 		if c > conns {

@@ -126,6 +126,52 @@ func (s *S) multiSuppressed() {
 	s.bumpLocked()
 }
 
+// --- chained *Locked mutators, the grm planner-patch shape ---
+
+// G mirrors grm.Server's mutator paths: a handler takes the mutex, a
+// *Locked mutator updates the books and then patches derived planner
+// state through a second *Locked helper.
+type G struct {
+	mu      sync.Mutex
+	books   int
+	planner int
+}
+
+// patchPlannerLocked is the innermost mutator: entry-held by convention.
+func (g *G) patchPlannerLocked() { g.planner++ }
+
+// shareLocked chains to the patch helper; the entry-held s.mu satisfies
+// the callee's requirement, so the chain is clean.
+func (g *G) shareLocked() {
+	g.books++
+	g.patchPlannerLocked()
+}
+
+// handleShare is the handler shape: lock, mutate through the chain,
+// unlock. Clean.
+func (g *G) handleShare() {
+	g.mu.Lock()
+	g.shareLocked()
+	g.mu.Unlock()
+}
+
+// patchOutsideLock drops the lock before patching derived state: the
+// chained requirement is enforced at the first *Locked call.
+func (g *G) patchOutsideLock() {
+	g.mu.Lock()
+	g.books = 0
+	g.mu.Unlock()
+	g.shareLocked() // want `call to shareLocked requires G\.mu held`
+}
+
+// rebuildLocked re-acquiring its own convention-held mutex is the
+// self-deadlock the suffix is meant to prevent.
+func (g *G) rebuildLocked() {
+	g.mu.Lock() // want `rebuildLocked is a \*Locked helper: it must not acquire G\.mu`
+	g.planner = 0
+	g.mu.Unlock()
+}
+
 // --- re-acquisition through a call ---
 
 func (s *S) relock() {

@@ -10,12 +10,14 @@ type record struct{ kind int }
 type system struct{ epoch int }
 
 type Server struct {
-	mu     sync.Mutex
-	sys    *system     // wal:journaled
-	avail  []float64   // wal:journaled
-	leases map[int]int // wal:journaled
-	next   int         // wal:journaled
-	seq    int         // volatile bookkeeping, not journaled
+	mu      sync.Mutex
+	sys     *system     // wal:journaled
+	avail   []float64   // wal:journaled
+	leases  map[int]int // wal:journaled
+	next    int         // wal:journaled
+	planner *system     // rebuilt from the books; wal:derived
+	epoch   int         // wal:derived
+	seq     int         // volatile bookkeeping, not journaled
 }
 
 // appendLocked is the single point where records enter the log.
@@ -70,6 +72,19 @@ func (s *Server) viaClosure() {
 //lint:ignore sharingvet/waljournal callers append a full snapshot record
 func (s *Server) installLocked(avail []float64) {
 	s.avail = avail
+}
+
+// patchLocked rebuilds derived state under the mutex without touching the
+// log: clean — derived fields are exempt from the appendLocked rule.
+func (s *Server) patchLocked() {
+	s.planner = nil
+	s.epoch++
+}
+
+// invalidate drops derived state outside any *Locked helper.
+func (s *Server) invalidate() {
+	s.planner = nil // want `invalidate writes derived field Server\.planner outside a \*Locked helper`
+	s.epoch++       // want `invalidate writes derived field Server\.epoch outside a \*Locked helper`
 }
 
 // touchSeq writes only volatile state: clean.

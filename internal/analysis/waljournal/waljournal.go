@@ -14,6 +14,14 @@
 //     reaches a method named appendLocked — the single point where
 //     records enter the log.
 //
+// Fields marked "wal:derived" are the second class: state fully
+// reconstructible from the journaled fields (the GRM's lazily built or
+// incrementally patched planner, its epoch counter). Replay must not
+// record them, but they shadow journaled state, so every write still has
+// to be serialized under the state mutex — the analyzer requires the
+// *Locked suffix for them while exempting them from the appendLocked
+// reachability rule.
+//
 // Writes are assignments, ++/--, and the delete/copy builtins whose
 // target expression passes through a journaled field ("s.avail[i] = x",
 // "s.sys.Epoch++", "delete(s.leases, tok)" all count). Writes inside
@@ -38,31 +46,38 @@ import (
 // append a WAL record.
 var Analyzer = &analysis.Analyzer{
 	Name: "waljournal",
-	Doc:  "writes to wal:journaled struct fields must occur in *Locked helpers whose call graph reaches appendLocked",
+	Doc:  "writes to wal:journaled struct fields must occur in *Locked helpers whose call graph reaches appendLocked; wal:derived fields need the *Locked helper only",
 	Run:  run,
 }
 
-const marker = "wal:journaled"
+const (
+	marker        = "wal:journaled"
+	derivedMarker = "wal:derived"
+)
 
 func run(pass *analysis.Pass) error {
-	journaled := collectJournaled(pass)
-	if len(journaled) == 0 {
+	journaled := collectMarked(pass, marker)
+	derived := collectMarked(pass, derivedMarker)
+	if len(journaled) == 0 && len(derived) == 0 {
 		return nil
 	}
 	cg := pass.CallGraph()
-	var sinks []*types.Func
-	for _, f := range cg.Funcs() {
-		if f.Name() == "appendLocked" {
-			sinks = append(sinks, f)
+	var reaches map[*types.Func]bool
+	if len(journaled) > 0 {
+		var sinks []*types.Func
+		for _, f := range cg.Funcs() {
+			if f.Name() == "appendLocked" {
+				sinks = append(sinks, f)
+			}
 		}
+		if len(sinks) == 0 {
+			// Journaled fields but no log append point: the package cannot
+			// satisfy the discipline, so flag the annotation itself.
+			pass.Reportf(pass.Files[0].Pos(), "package declares %s fields but no appendLocked method", marker)
+			return nil
+		}
+		reaches = cg.ReachesAnyOf(sinks...)
 	}
-	if len(sinks) == 0 {
-		// Journaled fields but no log append point: the package cannot
-		// satisfy the discipline, so flag the annotation itself.
-		pass.Reportf(pass.Files[0].Pos(), "package declares %s fields but no appendLocked method", marker)
-		return nil
-	}
-	reaches := cg.ReachesAnyOf(sinks...)
 
 	for _, f := range cg.Funcs() {
 		decl := cg.DeclOf(f)
@@ -82,24 +97,37 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(pos, "%s writes journaled field %s but its call graph never reaches appendLocked; recovery would not replay this mutation", f.Name(), field)
 			}
 		}
+		// Derived fields (rebuilt from journaled state, never replayed)
+		// need the mutex serialization but not the log append.
+		reportDerived := func(pos token.Pos, field string) {
+			if seen[field] {
+				return
+			}
+			seen[field] = true
+			if !strings.HasSuffix(f.Name(), "Locked") {
+				pass.Reportf(pos, "%s writes derived field %s outside a *Locked helper; state derived from the journal must be rebuilt under the state mutex", f.Name(), field)
+			}
+		}
+		checkTarget := func(e ast.Expr) {
+			if field := journaledTarget(pass.TypesInfo, journaled, e); field != "" {
+				report(e.Pos(), field)
+			}
+			if field := journaledTarget(pass.TypesInfo, derived, e); field != "" {
+				reportDerived(e.Pos(), field)
+			}
+		}
 		ast.Inspect(decl.Body, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
-					if field := journaledTarget(pass.TypesInfo, journaled, lhs); field != "" {
-						report(lhs.Pos(), field)
-					}
+					checkTarget(lhs)
 				}
 			case *ast.IncDecStmt:
-				if field := journaledTarget(pass.TypesInfo, journaled, n.X); field != "" {
-					report(n.X.Pos(), field)
-				}
+				checkTarget(n.X)
 			case *ast.CallExpr:
 				if isBuiltin(pass.TypesInfo, n, "delete") || isBuiltin(pass.TypesInfo, n, "copy") {
 					if len(n.Args) > 0 {
-						if field := journaledTarget(pass.TypesInfo, journaled, n.Args[0]); field != "" {
-							report(n.Args[0].Pos(), field)
-						}
+						checkTarget(n.Args[0])
 					}
 				}
 			}
@@ -109,9 +137,9 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// collectJournaled maps every struct field object whose field comment
-// carries the wal:journaled marker to its display name ("Server.avail").
-func collectJournaled(pass *analysis.Pass) map[*types.Var]string {
+// collectMarked maps every struct field object whose field comment
+// carries the given marker to its display name ("Server.avail").
+func collectMarked(pass *analysis.Pass, want string) map[*types.Var]string {
 	out := map[*types.Var]string{}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -129,7 +157,7 @@ func collectJournaled(pass *analysis.Pass) map[*types.Var]string {
 					continue
 				}
 				for _, fld := range st.Fields.List {
-					if !fieldMarked(fld) {
+					if !fieldMarked(fld, want) {
 						continue
 					}
 					for _, name := range fld.Names {
@@ -144,13 +172,13 @@ func collectJournaled(pass *analysis.Pass) map[*types.Var]string {
 	return out
 }
 
-func fieldMarked(fld *ast.Field) bool {
+func fieldMarked(fld *ast.Field, want string) bool {
 	for _, cg := range []*ast.CommentGroup{fld.Comment, fld.Doc} {
 		if cg == nil {
 			continue
 		}
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, marker) {
+			if strings.Contains(c.Text, want) {
 				return true
 			}
 		}

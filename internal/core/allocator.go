@@ -64,7 +64,30 @@ type Config struct {
 	// LPMethod selects the simplex implementation (lp.Tableau by
 	// default; lp.Revised pays off on large sparse agreement graphs).
 	LPMethod lp.Method
+	// WarmStart reuses each requester's final simplex basis across Plan
+	// calls (lp.ResolveFrom): when only the availability vector moved,
+	// revalidating the old basis replaces the full pivot sequence. Warm
+	// answers agree with cold ones within num.SolveTol, not bit-for-bit,
+	// so this is off by default — deployments that replay logs for
+	// byte-identical state must leave it off. Only effective with the
+	// tableau method (lp.Tableau); other methods always solve cold.
+	WarmStart bool
 }
+
+// fullLevel is the Level sentinel requesting full transitivity: any
+// value >= n-1 is clamped per current matrix size, so a closure built
+// with fullLevel keeps meaning "the complete closure" as it grows.
+const fullLevel = 1 << 30
+
+// exactBudget caps the chain-enumeration steps of exact closures. Exact
+// enumeration is exponential on dense graphs; refuse plainly instead of
+// hanging (a dense 20-principal graph has ~10^17 cycle-free chains). The
+// budget admits the paper's complete 10-principal graph at full closure
+// (~10M steps, ~100 ms) but rejects dense graphs of 11+ principals. The
+// same budget gates the incremental UpdateEdge path via the closure
+// handle, so a mutation that densifies the graph past the budget is
+// refused exactly like a from-scratch build would be.
+const exactBudget = 50_000_000
 
 // Allocator enforces sharing agreements by linear programming. Its
 // agreement state is immutable after construction and it is safe for
@@ -85,10 +108,23 @@ type Allocator struct {
 	// are exactly zero, so the result is bit-identical.
 	colIdx [][]int32
 	// skel[r] caches the LP skeleton for requester r: the constraint
-	// coefficients depend only on K and A, so per Plan call only the
-	// variable bounds and right-hand sides are rebound.
+	// coefficients depend only on K and the sparsity pattern of A, so per
+	// Plan call only the variable bounds and right-hand sides are rebound.
 	skel []*planSkeleton
+	// clo maintains the transitive closure incrementally; SetShare derives
+	// allocators through its delta path instead of re-enumerating chains.
+	clo *transitive.Closure
+	// warm[r] holds requester r's saved simplex basis for WarmStart plans.
+	warm []*warmSlot
 	pool sync.Pool // *planWS
+}
+
+// warmSlot serializes basis reuse for one requester: the lp.Workspace
+// holding the saved final basis, plus a mutex so a concurrent Plan for
+// the same requester falls back to a cold solve instead of contending.
+type warmSlot struct {
+	mu sync.Mutex
+	ws lp.Workspace
 }
 
 // planSkeleton is the reusable part of requester r's substituted LP:
@@ -100,6 +136,17 @@ type planSkeleton struct {
 	consumeRow int
 	perturbRow []int // row of perturb_i, -1 where the row does not exist
 	dropRow    int   // requester_drop row, -1 unless KeepRequesterConstraint
+	// capFlowRows lists the cap_flow_k_i rows whose right-hand side is
+	// A[k][i]: rebound per solve so the skeleton depends only on A's
+	// sparsity pattern, never its values — SetAgreement value changes
+	// share every skeleton.
+	capFlowRows []capFlowRef
+}
+
+// capFlowRef locates one cap_flow_k_i row for per-solve RHS rebinding.
+type capFlowRef struct {
+	row  int
+	k, i int32
 }
 
 // planWS is the per-Plan scratch recycled through Allocator.pool: the
@@ -140,25 +187,17 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 	}
 	level := cfg.Level
 	if level <= 0 {
-		level = n - 1
+		// The sentinel keeps requesting the complete closure even if the
+		// allocator later grows (clamping is redone per current n).
+		level = fullLevel
 	}
-	var t [][]float64
-	if cfg.Approx {
-		t = transitive.Approx(s, level)
-	} else {
-		// Exact enumeration is exponential on dense graphs; refuse
-		// plainly instead of hanging (a dense 20-principal graph has
-		// ~10^17 cycle-free chains). The budget admits the paper's
-		// complete 10-principal graph at full closure (~10M steps,
-		// ~100 ms) but rejects dense graphs of 11+ principals.
-		const exactBudget = 50_000_000
-		if !transitive.WithinBudget(s, level, exactBudget) {
-			return nil, fmt.Errorf("core: exact transitive closure would exceed %d steps for this agreement graph; set Config.Approx or lower Config.Level", exactBudget)
-		}
-		t = transitive.Exact(s, level)
+	if !cfg.Approx && !transitive.WithinBudget(s, level, exactBudget) {
+		return nil, fmt.Errorf("core: exact transitive closure would exceed %d steps for this agreement graph; set Config.Approx or lower Config.Level", exactBudget)
 	}
-	k := transitive.Cap(t)
-	al := &Allocator{n: n, s: s, a: a, k: k, cfg: cfg, conn: make([]float64, n)}
+	al := &Allocator{n: n, s: s, a: a, cfg: cfg, conn: make([]float64, n)}
+	al.clo = transitive.NewClosure(s, level, cfg.Approx).WithBudget(exactBudget)
+	k := transitive.Cap(al.clo.T())
+	al.k = k
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -168,19 +207,39 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 	}
 	al.colIdx = make([][]int32, n)
 	for i := 0; i < n; i++ {
-		for kk := 0; kk < n; kk++ {
-			if kk == i {
-				continue
-			}
-			if !num.IsZero(k[kk][i]) || (a != nil && !num.IsZero(a[kk][i])) {
-				al.colIdx[i] = append(al.colIdx[i], int32(kk))
-			}
-		}
+		al.colIdx[i] = al.colIdxFor(i)
 	}
 	al.skel = make([]*planSkeleton, n)
 	for i := range al.skel {
 		al.skel[i] = &planSkeleton{}
 	}
+	al.warm = make([]*warmSlot, n)
+	for i := range al.warm {
+		al.warm[i] = &warmSlot{}
+	}
+	al.initPool()
+	return al, nil
+}
+
+// colIdxFor computes the sparse column index for principal i: the
+// sources kk ≠ i with a nonzero flow into i, ascending.
+func (al *Allocator) colIdxFor(i int) []int32 {
+	var out []int32
+	for kk := 0; kk < al.n; kk++ {
+		if kk == i {
+			continue
+		}
+		if !num.IsZero(al.k[kk][i]) || (al.a != nil && !num.IsZero(al.a[kk][i])) {
+			out = append(out, int32(kk))
+		}
+	}
+	return out
+}
+
+// initPool (re)binds the plan-workspace pool; every Allocator — built or
+// derived — gets its own pool because sync.Pool must not be copied.
+func (al *Allocator) initPool() {
+	n := al.n
 	al.pool.New = func() any {
 		return &planWS{
 			caps:   make([]float64, n),
@@ -190,7 +249,6 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 			clones: make([]*lp.Model, n),
 		}
 	}
-	return al, nil
 }
 
 // N returns the number of principals.
@@ -349,8 +407,9 @@ func (al *Allocator) buildSkeleton(sk *planSkeleton, requester int) {
 				continue
 			}
 			u := m.AddVar(fmt.Sprintf("u_%d_%d", k, i), 0, lp.Inf, 0)
-			m.AddConstraint(fmt.Sprintf("cap_flow_%d_%d", k, i),
+			cfRow := m.AddConstraint(fmt.Sprintf("cap_flow_%d_%d", k, i),
 				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -al.k[k][i]}}, lp.LE, al.a[k][i])
+			sk.capFlowRows = append(sk.capFlowRows, capFlowRef{row: cfRow, k: int32(k), i: int32(i)})
 			m.AddConstraint(fmt.Sprintf("cap_own_%d_%d", k, i),
 				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -1}}, lp.LE, 0)
 			terms = append(terms, lp.Term{Var: u, Coeff: 1})
@@ -413,12 +472,35 @@ func (al *Allocator) planSubstituted(out *Allocation, v []float64, requester int
 	if sk.dropRow >= 0 {
 		m.SetRHS(sk.dropRow, ws.caps[requester]-amount)
 	}
+	// cap_flow right-hand sides carry the current A values; rebinding them
+	// per solve (same value the skeleton baked at build time, unless a
+	// SetAgreement mutation moved it) is what lets skeletons survive
+	// absolute-agreement value changes.
+	for _, cf := range sk.capFlowRows {
+		m.SetRHS(cf.row, al.a[cf.k][cf.i])
+	}
 
-	sol, err := m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
+	sol, err := al.solvePlan(m, requester, ws)
 	if err != nil {
 		return fmt.Errorf("core: allocation LP failed: %w", err)
 	}
 	return al.allocationInto(out, v, requester, amount, sol, ws)
+}
+
+// solvePlan runs the rebound model, through the requester's warm slot
+// when basis reuse is enabled. TryLock keeps concurrent Plans for the
+// same requester correct without contention: the loser of the race
+// simply solves cold in its own workspace.
+func (al *Allocator) solvePlan(m *lp.Model, requester int, ws *planWS) (*lp.Solution, error) {
+	if al.cfg.WarmStart && al.cfg.LPMethod == lp.Tableau {
+		slot := al.warm[requester]
+		if slot.mu.TryLock() {
+			sol, err := m.ResolveFrom(&slot.ws)
+			slot.mu.Unlock()
+			return sol, err
+		}
+	}
+	return m.SolveWithWorkspace(al.cfg.LPMethod, &ws.lpws)
 }
 
 // allocationInto converts an LP solution over V' variables into out,

@@ -320,3 +320,108 @@ func BenchmarkPlanBatch8(b *testing.B) {
 		}
 	}
 }
+
+// Incremental-enforcement benches: agreement churn and availability
+// churn against a prebuilt allocator, vs the cold rebuild path they
+// replace. The scenario is a sparse 100-principal graph (ring plus
+// chords) at level 5 — large enough that the cold path's LP build and
+// solve dominate, sparse enough that exact enumeration stays in budget.
+
+func incrementalScenario(n int) (s [][]float64, v []float64) {
+	rng := rand.New(rand.NewSource(17))
+	s = make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		s[i][(i+1)%n] = 0.3
+		s[i][(i+7)%n] = 0.2
+	}
+	for e := 0; e < n/2; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			s[i][j] = 0.15
+		}
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = 50 + rng.Float64()*50
+	}
+	return
+}
+
+// BenchmarkPlanColdRebuild100 is the baseline the incremental paths are
+// measured against: every agreement or availability change pays a full
+// NewAllocator (chain enumeration, caches) plus a cold Plan.
+func BenchmarkPlanColdRebuild100(b *testing.B) {
+	s, v := incrementalScenario(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := NewAllocator(s, nil, Config{Level: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := al.Plan(v, 0, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewAllocator100 isolates the rebuild cost without a solve.
+func BenchmarkNewAllocator100(b *testing.B) {
+	s, _ := incrementalScenario(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAllocator(s, nil, Config{Level: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateEdge100 mutates a single agreement edge through the
+// delta-closure path: the allocator derived per iteration shares every
+// cache the edge cannot reach.
+func BenchmarkUpdateEdge100(b *testing.B) {
+	s, _ := incrementalScenario(100)
+	cur, err := NewAllocator(s, nil, Config{Level: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := [2]float64{s[3][4], 0.45}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := cur.SetShare(3, 4, vals[i%2], vals[(i+1)%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur = d
+	}
+}
+
+// BenchmarkPlanIncremental100 plans against availability-only churn with
+// basis reuse on: each iteration moves V slightly and resolves from the
+// previous optimal basis (zero pivots on the warm path).
+func BenchmarkPlanIncremental100(b *testing.B) {
+	s, v := incrementalScenario(100)
+	al, err := NewAllocator(s, nil, Config{Level: 5, WarmStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2 := append([]float64(nil), v...)
+	for i := range v2 {
+		v2[i] *= 1.01
+	}
+	if _, err := al.Plan(v, 0, 30); err != nil { // seed the basis
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		use := v
+		if i%2 == 1 {
+			use = v2
+		}
+		if _, err := al.Plan(use, 0, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/num"
+	"repro/internal/transitive"
+)
+
+// This file implements incremental Allocator derivation: agreement
+// mutations that patch S/A through the delta transitive closure and
+// invalidate only the caches the change can actually reach, instead of
+// paying a full NewAllocator rebuild (whose exact chain enumeration is
+// the dominant cost at scale).
+//
+// Mutators are copy-on-write: they return a derived *Allocator sharing
+// every unchanged row slice, skeleton, and warm slot with the receiver,
+// which stays valid — in-flight Plans against the old allocator keep
+// their consistent snapshot, the concurrency model the grm server's
+// epoch-based planner swap relies on.
+//
+// What each cache depends on, and hence when it is invalidated:
+//
+//	cache     depends on                      survives
+//	───────── ─────────────────────────────── ─────────────────────────────
+//	clo (T)   S values, level                 delta rows only (UpdateEdge)
+//	K         T values (elementwise cap)      rows whose capped T row moved
+//	conn      K rows (row sums)               rows whose K row moved
+//	colIdx    K/A column sparsity pattern     columns whose pattern moved
+//	skel[r]   K values (all columns ≠ r),     no K column ≠ r moved, conn
+//	          conn (objective), A pattern     unchanged, A pattern ≠ r same
+//	warm[r]   LP structure + coefficients     always shared; the saved
+//	                                          basis self-invalidates via
+//	                                          lp.ResolveFrom's signature
+//
+// A derived allocator's Plan output is bit-identical to a freshly built
+// NewAllocator over the mutated matrices (pinned by the incremental
+// equivalence tests): shared rows are trivially identical, and patched
+// rows replay NewAllocator's exact per-row computations.
+
+// derive clones the allocator's slice headers and cache references so a
+// mutator can swap individual entries without touching the receiver.
+// sync.Pool must not be copied, so the derived allocator gets a fresh
+// (empty) workspace pool.
+func (al *Allocator) derive() *Allocator {
+	d := &Allocator{
+		n: al.n, s: al.s, a: al.a, k: al.k, cfg: al.cfg,
+		conn: al.conn, colIdx: al.colIdx, skel: al.skel,
+		clo: al.clo, warm: al.warm,
+	}
+	d.initPool()
+	return d
+}
+
+// SetShare derives an allocator with the relative agreement S[from][to]
+// changed from oldVal to newVal. oldVal must match the current entry
+// (the staleness check catches callers whose shadow copy of S drifted).
+// The transitive closure is patched through the delta path; a mutation
+// that would densify the graph past the exact-enumeration budget is
+// refused with transitive.ErrBudget, exactly as a from-scratch
+// NewAllocator would refuse it. A no-op change returns the receiver.
+func (al *Allocator) SetShare(from, to int, oldVal, newVal float64) (*Allocator, error) {
+	clo, changed, err := al.clo.UpdateEdge(from, to, oldVal, newVal)
+	if err != nil {
+		return nil, fmt.Errorf("core: SetShare: %w", err)
+	}
+	if clo == al.clo {
+		return al, nil
+	}
+	d := al.derive()
+	d.clo = clo
+	d.s = append([][]float64(nil), al.s...)
+	row := append([]float64(nil), al.s[from]...)
+	row[to] = newVal
+	d.s[from] = row
+	d.applyClosureDelta(al, changed)
+	return d, nil
+}
+
+// applyClosureDelta patches K, conn, colIdx, and the skeleton cache of a
+// derived allocator after its closure moved on the given T rows. Caches
+// are invalidated per the dependency table above; everything the change
+// cannot reach keeps sharing memory with prev.
+func (d *Allocator) applyClosureDelta(prev *Allocator, changed []int) {
+	n := d.n
+	t := d.clo.T()
+	var kRows []int
+	for _, r := range changed {
+		fresh := capRow(t[r])
+		if floatsIdentical(fresh, prev.k[r]) {
+			continue // the cap clamped the whole change away
+		}
+		if kRows == nil {
+			d.k = append([][]float64(nil), prev.k...)
+		}
+		d.k[r] = fresh
+		kRows = append(kRows, r)
+	}
+	if kRows == nil {
+		// K is value-identical: conn, colIdx, and every skeleton survive.
+		return
+	}
+
+	// conn rows are K row sums; recompute the moved ones in NewAllocator's
+	// exact ascending-j order so shared skeletons stay bit-faithful.
+	d.conn = append([]float64(nil), prev.conn...)
+	connChanged := false
+	for _, r := range kRows {
+		c := 0.0
+		for j := 0; j < n; j++ {
+			if j != r {
+				c += d.k[r][j]
+			}
+		}
+		if !num.IsZero(c - d.conn[r]) {
+			connChanged = true
+		}
+		d.conn[r] = c
+	}
+
+	// Columns whose values moved decide both the colIdx rebuild (pattern
+	// member flips) and which skeletons saw a coefficient change.
+	valCols := make(map[int]bool)
+	patCols := make(map[int]bool)
+	for _, r := range kRows {
+		for j := 0; j < n; j++ {
+			if !num.IsZero(prev.k[r][j] - d.k[r][j]) {
+				valCols[j] = true
+				if num.IsZero(prev.k[r][j]) != num.IsZero(d.k[r][j]) {
+					patCols[j] = true
+				}
+			}
+		}
+	}
+	if len(patCols) > 0 {
+		d.colIdx = append([][]int32(nil), prev.colIdx...)
+		for c := range patCols {
+			d.colIdx[c] = d.colIdxFor(c)
+		}
+	}
+
+	// Skeleton r bakes −eps·conn (all rows) into its objective and every
+	// K column except r into its constraint rows, so it survives only if
+	// conn held still and the change stayed inside column r. (Under
+	// KeepRequesterConstraint column r appears in r's own drop row too,
+	// so nothing survives.)
+	soleCol := -1
+	if !connChanged && !d.cfg.KeepRequesterConstraint && len(valCols) == 1 {
+		for c := range valCols {
+			soleCol = c
+		}
+	}
+	d.skel = make([]*planSkeleton, n)
+	for i := range d.skel {
+		if i == soleCol {
+			d.skel[i] = prev.skel[i]
+		} else {
+			d.skel[i] = &planSkeleton{}
+		}
+	}
+}
+
+// SetAgreement derives an allocator with the absolute agreement
+// A[from][to] changed from oldVal to newVal (growing an all-zero A if
+// the allocator had none). Absolute agreements never enter the closure,
+// so no enumeration happens at all: a value-only change (both sides
+// positive) shares every cache — the cap_flow right-hand sides are
+// rebound per solve — while a sparsity flip (zero ↔ positive) rebuilds
+// column `to`'s index and the skeletons that linearize the new entry.
+func (al *Allocator) SetAgreement(from, to int, oldVal, newVal float64) (*Allocator, error) {
+	n := al.n
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return nil, fmt.Errorf("core: SetAgreement(%d, %d): index out of range for n=%d", from, to, n)
+	}
+	if newVal < 0 {
+		return nil, fmt.Errorf("core: SetAgreement(%d, %d): value %g must be non-negative", from, to, newVal)
+	}
+	cur := 0.0
+	if al.a != nil {
+		cur = al.a[from][to]
+	}
+	if !num.IsZero(cur - oldVal) {
+		return nil, fmt.Errorf("core: SetAgreement(%d, %d): stale old value %g, allocator holds %g", from, to, oldVal, cur)
+	}
+	if num.IsZero(oldVal - newVal) {
+		return al, nil
+	}
+	d := al.derive()
+	if al.a == nil {
+		d.a = make([][]float64, n)
+		for i := range d.a {
+			d.a[i] = make([]float64, n)
+		}
+	} else {
+		d.a = append([][]float64(nil), al.a...)
+	}
+	row := append([]float64(nil), d.a[from]...)
+	row[to] = newVal
+	d.a[from] = row
+	if (oldVal > 0) != (newVal > 0) && from != to {
+		// The u_{from,to} linearization appears or disappears: that entry
+		// sits in every skeleton whose perturb_to row exists, i.e. all but
+		// requester `to`'s own (diagonal entries are read by nothing).
+		d.colIdx = append([][]int32(nil), al.colIdx...)
+		d.colIdx[to] = d.colIdxFor(to)
+		d.skel = make([]*planSkeleton, n)
+		for i := range d.skel {
+			if i == to && !d.cfg.KeepRequesterConstraint {
+				d.skel[i] = al.skel[i]
+			} else {
+				d.skel[i] = &planSkeleton{}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Grow derives an allocator extended by extra principals holding no
+// agreements. A fresh principal has no edges, so the closure is the old
+// one zero-extended — no chain enumeration — and the caches are rebuilt
+// with NewAllocator's own loops over the extended matrices (O(n²),
+// trivial next to enumeration). All skeletons are invalidated: every
+// model's variable count changes.
+func (al *Allocator) Grow(extra int) *Allocator {
+	if extra <= 0 {
+		return al
+	}
+	n := al.n + extra
+	d := &Allocator{n: n, cfg: al.cfg}
+	d.clo = al.clo.Grow(extra)
+	d.s = growSquare(al.s, n)
+	if al.a != nil {
+		d.a = growSquare(al.a, n)
+	}
+	d.k = transitive.Cap(d.clo.T())
+	d.conn = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.conn[i] += d.k[i][j]
+			}
+		}
+	}
+	d.colIdx = make([][]int32, n)
+	for i := range d.colIdx {
+		d.colIdx[i] = d.colIdxFor(i)
+	}
+	d.skel = make([]*planSkeleton, n)
+	for i := range d.skel {
+		d.skel[i] = &planSkeleton{}
+	}
+	d.warm = make([]*warmSlot, n)
+	for i := range d.warm {
+		d.warm[i] = &warmSlot{}
+	}
+	d.initPool()
+	return d
+}
+
+// Share returns the current relative agreement entry S[from][to] — the
+// old-value witness callers pass back into SetShare.
+func (al *Allocator) Share(from, to int) float64 { return al.s[from][to] }
+
+// Agreement returns the current absolute agreement entry A[from][to]
+// (zero when the allocator holds no absolute agreements).
+func (al *Allocator) Agreement(from, to int) float64 {
+	if al.a == nil {
+		return 0
+	}
+	return al.a[from][to]
+}
+
+// Shares returns a copy of the current relative agreement matrix.
+func (al *Allocator) Shares() [][]float64 {
+	out := make([][]float64, al.n)
+	for i := range out {
+		out[i] = append([]float64(nil), al.s[i]...)
+	}
+	return out
+}
+
+// capRow applies transitive.Cap's elementwise clamp to one row.
+func capRow(t []float64) []float64 {
+	out := make([]float64, len(t))
+	for j, v := range t {
+		if v > 1 {
+			v = 1
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// floatsIdentical reports whether two rows hold identical values.
+func floatsIdentical(a, b []float64) bool {
+	for i := range a {
+		if !num.IsZero(a[i] - b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// growSquare copies an n×n matrix into a larger nn×nn one, zero-extending
+// every row and appending zero rows.
+func growSquare(m [][]float64, nn int) [][]float64 {
+	out := make([][]float64, nn)
+	for i := range out {
+		out[i] = make([]float64, nn)
+		if i < len(m) {
+			copy(out[i], m[i])
+		}
+	}
+	return out
+}

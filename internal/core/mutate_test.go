@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/transitive"
+)
+
+// mutateScenario builds a sparse random agreement system large enough
+// that skeleton/closure sharing matters but small enough for exact
+// enumeration at the given level.
+func mutateScenario(rng *rand.Rand, n, edges int) (s [][]float64, v []float64) {
+	s = make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+	}
+	for e := 0; e < edges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		s[i][j] = 0.05 + 0.4*rng.Float64()
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = 20 + 40*rng.Float64()
+	}
+	return s, v
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+// requirePlansIdentical pins a derived allocator's cold Plan output
+// bit-for-bit to a freshly built one across several requesters.
+func requirePlansIdentical(t *testing.T, got, want *Allocator, v []float64, label string) {
+	t.Helper()
+	n := want.N()
+	for r := 0; r < n; r++ {
+		amount := want.Capacities(v)[r] * 0.3
+		pg, eg := got.Plan(v, r, amount)
+		pw, ew := want.Plan(v, r, amount)
+		if (eg == nil) != (ew == nil) {
+			t.Fatalf("%s: requester %d: err %v vs rebuild err %v", label, r, eg, ew)
+		}
+		if eg != nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if pg.Take[i] != pw.Take[i] || pg.NewV[i] != pw.NewV[i] { //lint:ignore sharingvet/floateq the test pins bit-identical plans
+				t.Fatalf("%s: requester %d: Take[%d]=%v NewV[%d]=%v, rebuild %v / %v",
+					label, r, i, pg.Take[i], i, pg.NewV[i], pw.Take[i], pw.NewV[i])
+			}
+		}
+		if pg.Theta != pw.Theta { //lint:ignore sharingvet/floateq the test pins bit-identical plans
+			t.Fatalf("%s: requester %d: Theta %v, rebuild %v", label, r, pg.Theta, pw.Theta)
+		}
+	}
+}
+
+// TestSetShareMatchesRebuild drives a random schedule of relative
+// agreement edits and pins the derived allocator — flow coefficients,
+// capacities, and full Plan output — bit-for-bit to NewAllocator over
+// the mutated matrix at every step.
+func TestSetShareMatchesRebuild(t *testing.T) {
+	for _, cfg := range []Config{{Level: 3}, {}, {Approx: true}} {
+		rng := rand.New(rand.NewSource(11))
+		s, v := mutateScenario(rng, 12, 20)
+		al, err := NewAllocator(cloneMatrix(s), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 25; step++ {
+			from, to := rng.Intn(12), rng.Intn(12)
+			if from == to {
+				continue
+			}
+			var nv float64
+			if rng.Intn(4) == 0 {
+				nv = 0 // occasionally revoke the edge entirely
+			} else {
+				nv = 0.05 + 0.4*rng.Float64()
+			}
+			d, err := al.SetShare(from, to, s[from][to], nv)
+			if err != nil {
+				t.Fatalf("cfg %+v step %d: SetShare: %v", cfg, step, err)
+			}
+			s[from][to] = nv
+			rebuilt, err := NewAllocator(cloneMatrix(s), nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kd, kw := d.FlowCoefficients(), rebuilt.FlowCoefficients()
+			for i := range kw {
+				if !floatsIdentical(kd[i], kw[i]) {
+					t.Fatalf("cfg %+v step %d: K row %d diverged", cfg, step, i)
+				}
+			}
+			if !floatsIdentical(d.conn, rebuilt.conn) {
+				t.Fatalf("cfg %+v step %d: conn diverged", cfg, step)
+			}
+			if !floatsIdentical(d.Capacities(v), rebuilt.Capacities(v)) {
+				t.Fatalf("cfg %+v step %d: capacities diverged", cfg, step)
+			}
+			if step%5 == 0 {
+				requirePlansIdentical(t, d, rebuilt, v, "SetShare")
+			}
+			al = d
+		}
+	}
+}
+
+// TestSetAgreementMatchesRebuild covers absolute-agreement mutations:
+// growing A from nil, value-only moves (which must share every
+// skeleton), and sparsity flips.
+func TestSetAgreementMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, v := mutateScenario(rng, 10, 16)
+	a := cloneMatrix(s) // just for the shape; rewrite values
+	for i := range a {
+		for j := range a[i] {
+			a[i][j] = 0
+		}
+	}
+	a[2][7] = 5
+	a[4][1] = 3
+	al, err := NewAllocator(cloneMatrix(s), cloneMatrix(a), Config{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 20; step++ {
+		from, to := rng.Intn(10), rng.Intn(10)
+		if from == to {
+			continue
+		}
+		var nv float64
+		if rng.Intn(3) > 0 {
+			nv = 1 + 6*rng.Float64()
+		}
+		valueOnly := a[from][to] > 0 && nv > 0
+		d, err := al.SetAgreement(from, to, a[from][to], nv)
+		if err != nil {
+			t.Fatalf("step %d: SetAgreement: %v", step, err)
+		}
+		if valueOnly && d != al {
+			for i := 0; i < 10; i++ {
+				if d.skel[i] != al.skel[i] {
+					t.Fatalf("step %d: value-only A change rebuilt skeleton %d", step, i)
+				}
+			}
+		}
+		a[from][to] = nv
+		rebuilt, err := NewAllocator(cloneMatrix(s), cloneMatrix(a), Config{Level: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !floatsIdentical(d.Capacities(v), rebuilt.Capacities(v)) {
+			t.Fatalf("step %d: capacities diverged", step)
+		}
+		if step%4 == 0 {
+			requirePlansIdentical(t, d, rebuilt, v, "SetAgreement")
+		}
+		al = d
+	}
+}
+
+// TestGrowMatchesRebuild extends an allocator by fresh principals and
+// pins it to a rebuild over the zero-extended matrices, then mutates an
+// edge touching the new principal.
+func TestGrowMatchesRebuild(t *testing.T) {
+	for _, cfg := range []Config{{}, {Approx: true}} {
+		rng := rand.New(rand.NewSource(3))
+		s, _ := mutateScenario(rng, 8, 14)
+		al, err := NewAllocator(cloneMatrix(s), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := al.Grow(2)
+		if d.N() != 10 {
+			t.Fatalf("cfg %+v: grew to %d principals, want 10", cfg, d.N())
+		}
+		sBig := growSquare(s, 10)
+		v := make([]float64, 10)
+		for i := range v {
+			v[i] = 15 + 30*rng.Float64()
+		}
+		rebuilt, err := NewAllocator(cloneMatrix(sBig), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePlansIdentical(t, d, rebuilt, v, "Grow")
+
+		// The new principal starts sharing: goes through the delta path.
+		d2, err := d.SetShare(9, 0, 0, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBig[9][0] = 0.35
+		rebuilt2, err := NewAllocator(cloneMatrix(sBig), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePlansIdentical(t, d2, rebuilt2, v, "Grow+SetShare")
+	}
+}
+
+// TestMutatorCOW checks the receiver of a mutation stays fully valid:
+// its plans still match a rebuild over the *old* matrices.
+func TestMutatorCOW(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, v := mutateScenario(rng, 10, 18)
+	al, err := NewAllocator(cloneMatrix(s), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := 1, 6
+	if _, err := al.SetShare(from, to, s[from][to], 0.44); err != nil {
+		t.Fatal(err)
+	}
+	rebuiltOld, err := NewAllocator(cloneMatrix(s), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePlansIdentical(t, al, rebuiltOld, v, "receiver after SetShare")
+	if !num.IsZero(al.s[from][to] - s[from][to]) {
+		t.Fatalf("receiver S mutated: %v", al.s[from][to])
+	}
+}
+
+// TestSetShareErrors covers staleness detection and the budget refusal.
+func TestSetShareErrors(t *testing.T) {
+	s, _ := mutateScenario(rand.New(rand.NewSource(1)), 6, 10)
+	al, err := NewAllocator(cloneMatrix(s), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.SetShare(0, 1, s[0][1]+0.2, 0.3); err == nil {
+		t.Fatal("stale old value accepted")
+	}
+	if _, err := al.SetShare(0, 0, 0, 0.3); err == nil {
+		t.Fatal("diagonal share accepted")
+	}
+	if d, err := al.SetShare(0, 1, s[0][1], s[0][1]); err != nil || d != al {
+		t.Fatalf("no-op share: d=%p al=%p err=%v", d, al, err)
+	}
+
+	// Densify an exact allocator until the enumeration budget trips: the
+	// mutation must be refused with ErrBudget, like NewAllocator would
+	// refuse building the densified graph. Seed with a complete clique on
+	// 10 of 13 principals (~10M enumeration steps, inside the budget) so
+	// wiring the remaining principals into the clique trips quickly.
+	n := 13
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		for j := range dense[i] {
+			if i != j && i < 10 && j < 10 {
+				dense[i][j] = 0.2
+			}
+		}
+	}
+	// Principal 10 starts as a sink of the whole clique: enumeration stays
+	// cheap (chains can only end there). Out-edges then turn it into a
+	// router, and routing through an 11th clique member exceeds the budget.
+	for j := 0; j < 10; j++ {
+		dense[j][10] = 0.2
+	}
+	cur, err := NewAllocator(cloneMatrix(dense), nil, Config{})
+	if err != nil {
+		t.Fatalf("clique seed refused: %v", err)
+	}
+	tripped := false
+	for j := 0; j < 10 && !tripped; j++ {
+		d, err := cur.SetShare(10, j, 0, 0.2)
+		if err != nil {
+			if !errors.Is(err, transitive.ErrBudget) {
+				t.Fatalf("densify: %v, want ErrBudget", err)
+			}
+			tripped = true
+			break
+		}
+		cur = d
+	}
+	if !tripped {
+		t.Fatal("wiring a router into the clique never hit the enumeration budget")
+	}
+}
+
+// TestWarmStartPlanMatchesCold runs an availability-churn schedule with
+// basis reuse on and pins every answer to a cold allocator's within the
+// num.SolveTol policy.
+func TestWarmStartPlanMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s, v := mutateScenario(rng, 12, 22)
+	warm, err := NewAllocator(cloneMatrix(s), nil, Config{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewAllocator(cloneMatrix(s), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requester := 4
+	for step := 0; step < 40; step++ {
+		for i := range v {
+			v[i] = 15 + 45*rng.Float64()
+		}
+		amount := cold.Capacities(v)[requester] * (0.1 + 0.5*rng.Float64())
+		pw, ew := warm.Plan(v, requester, amount)
+		pc, ec := cold.Plan(v, requester, amount)
+		if (ew == nil) != (ec == nil) {
+			t.Fatalf("step %d: warm err %v, cold err %v", step, ew, ec)
+		}
+		if ew != nil {
+			continue
+		}
+		for i := range pw.Take {
+			if !num.EqSolve(pw.Take[i], pc.Take[i]) {
+				t.Fatalf("step %d: Take[%d] warm %v, cold %v", step, i, pw.Take[i], pc.Take[i])
+			}
+		}
+		if !num.EqSolve(pw.Theta, pc.Theta) {
+			t.Fatalf("step %d: Theta warm %v, cold %v", step, pw.Theta, pc.Theta)
+		}
+	}
+	if !warm.warm[requester].ws.HasWarmBasis() {
+		t.Fatal("no basis was ever saved for the churned requester")
+	}
+}
+
+// TestWarmStartAfterMutation checks basis reuse stays correct across a
+// SetShare: the saved basis must be rejected (structure moved) and the
+// answer still matches a rebuild.
+func TestWarmStartAfterMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s, v := mutateScenario(rng, 10, 18)
+	al, err := NewAllocator(cloneMatrix(s), nil, Config{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requester := 2
+	amount := al.Capacities(v)[requester] * 0.4
+	if _, err := al.Plan(v, requester, amount); err != nil {
+		t.Fatal(err)
+	}
+	d, err := al.SetShare(3, 2, s[3][2], 0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[3][2] = 0.48
+	pd, err := d.Plan(v, requester, amount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewAllocator(cloneMatrix(s), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := rebuilt.Plan(v, requester, amount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pd.Take {
+		if !num.EqSolve(pd.Take[i], pr.Take[i]) {
+			t.Fatalf("Take[%d] after mutation: %v, rebuild %v", i, pd.Take[i], pr.Take[i])
+		}
+	}
+}

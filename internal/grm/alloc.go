@@ -140,10 +140,10 @@ func (s *Server) processBatch(jobs []*allocJob) {
 	}
 	conflicts := 0
 	for len(live) > 0 {
-		planner, err := s.currentPlanner()
+		planner, err := s.currentPlannerLocked()
 		if err != nil {
 			for _, i := range liveIdx {
-				replies[i] = errorf("grm: alloc: %v", err)
+				replies[i] = errorResponse(err, "grm: alloc: %v", err)
 			}
 			break
 		}
@@ -303,10 +303,10 @@ func (s *Server) allocDirect(r *AllocRequest) *Response {
 	}
 	conflicts := 0
 	for {
-		planner, err := s.currentPlanner()
+		planner, err := s.currentPlannerLocked()
 		if err != nil {
 			repay()
-			return errorf("grm: alloc: %v", err)
+			return errorResponse(err, "grm: alloc: %v", err)
 		}
 		// Snapshot what the solve needs. planner is immutable and v a
 		// private copy, so the solve itself needs no lock.

@@ -247,9 +247,9 @@ func (l *LRM) connectLocked() error {
 		l.dropLocked()
 		return err
 	}
-	if resp.Err != "" {
+	if err := wireError(resp); err != nil {
 		l.dropLocked()
-		return errors.New(resp.Err)
+		return err
 	}
 	if resp.Register == nil {
 		l.dropLocked()
@@ -262,9 +262,9 @@ func (l *LRM) connectLocked() error {
 			l.dropLocked()
 			return err
 		}
-		if resp.Err != "" {
+		if err := wireError(resp); err != nil {
 			l.dropLocked()
-			return errors.New(resp.Err)
+			return err
 		}
 	}
 	return nil
@@ -394,8 +394,8 @@ func (l *LRM) exchange(req *Request, bind bool) (*Response, error) {
 			}
 			continue
 		}
-		if resp.Err != "" {
-			return nil, errors.New(resp.Err)
+		if err := wireError(resp); err != nil {
+			return nil, err
 		}
 		if req.Report != nil {
 			l.noteReport(req.Report.Available)

@@ -114,6 +114,7 @@ func decodeRequest(data []byte) (*Request, error) {
 // appendResponse appends resp's binary envelope to dst.
 func appendResponse(dst []byte, resp *Response) ([]byte, error) {
 	dst = transport.AppendString(dst, resp.Err)
+	dst = transport.AppendUvarint(dst, resp.Code)
 	switch {
 	case resp.Register != nil:
 		dst = transport.AppendUvarint(dst, kindRegister)
@@ -158,6 +159,7 @@ func appendResponse(dst []byte, resp *Response) ([]byte, error) {
 func decodeResponse(data []byte) (*Response, error) {
 	d := transport.NewDec(data)
 	resp := &Response{Err: d.String()}
+	resp.Code = d.Uvarint()
 	switch kind := d.Uvarint(); kind {
 	case kindNone:
 	case kindRegister:

@@ -54,6 +54,7 @@ func TestResponseCodecRoundTrip(t *testing.T) {
 		{Peers: &PeersReply{}},
 		{Ping: &PingReply{}},
 		{Err: "partial failure", Report: &ReportReply{}},
+		{Err: "grm: caps: no principals registered", Code: CodeNoPrincipals},
 	}
 	for i, resp := range resps {
 		enc, err := appendResponse(nil, resp)

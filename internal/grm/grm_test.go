@@ -2,6 +2,7 @@ package grm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -255,6 +256,43 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if _, err := Dial(addr, "", 10); err == nil {
 		t.Error("empty name accepted")
+	}
+}
+
+// TestNoPrincipalsErrorCrossesWire exercises the typed-error path: a
+// planner request before any principal registers must come back as
+// CodeNoPrincipals and rehydrate to ErrNoPrincipals on the client side,
+// distinguishable from generic failures via errors.Is.
+func TestNoPrincipalsErrorCrossesWire(t *testing.T) {
+	_, addr := startServer(t, core.Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := newGobWire(conn)
+	defer w.close()
+	resp, err := w.do(&Request{Caps: &CapsRequest{}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || resp.Code != CodeNoPrincipals {
+		t.Fatalf("caps before register: got Err=%q Code=%d, want CodeNoPrincipals", resp.Err, resp.Code)
+	}
+	werr := wireError(resp)
+	if !errors.Is(werr, ErrNoPrincipals) {
+		t.Errorf("wireError(%+v) = %v, not errors.Is ErrNoPrincipals", resp, werr)
+	}
+	// A generic protocol error must stay CodeGeneric.
+	resp, err = w.do(&Request{Alloc: &AllocRequest{Principal: 99, Amount: 1}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || resp.Code != CodeGeneric {
+		t.Fatalf("alloc for unknown principal: got Err=%q Code=%d, want CodeGeneric", resp.Err, resp.Code)
+	}
+	if errors.Is(wireError(resp), ErrNoPrincipals) {
+		t.Error("generic error rehydrated as ErrNoPrincipals")
 	}
 }
 

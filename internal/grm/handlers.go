@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/core"
 	"repro/internal/store"
 )
 
@@ -53,7 +54,12 @@ func (s *Server) registerLocked(name string, capacity float64) (int, error) {
 	s.avail = append(s.avail, capacity)
 	s.reported = append(s.reported, capacity)
 	s.names = append(s.names, name)
-	s.planner = nil // structure changed
+	if s.planner != nil {
+		// A fresh principal holds no agreements: extend the planner by a
+		// zero row/column instead of discarding it — Grow's closure is a
+		// zero-extension, no chain re-enumeration.
+		s.planner = s.planner.Grow(1)
+	}
 	s.epoch++
 	s.appendLocked(&store.Record{Kind: store.KindRegister, Principal: int(pid), Name: name, Capacity: capacity})
 	s.logger.Printf("grm: registered %q as principal %d (capacity %g)", name, pid, capacity)
@@ -127,12 +133,53 @@ func (s *Server) shareLocked(fromP, toP int, fraction, quantity float64) (int, e
 	}
 	s.tickets = append(s.tickets, tid)
 	s.shareHist = append(s.shareHist, shareInfo{from: fromP, to: toP, fraction: fraction, quantity: quantity})
-	s.planner = nil
+	s.patchPlannerShareLocked(fromP, toP, fraction, quantity)
 	s.epoch++
 	ticket := len(s.tickets) - 1
 	s.appendLocked(&store.Record{Kind: store.KindShare, From: fromP, To: toP,
 		Fraction: fraction, Quantity: quantity, Ticket: ticket})
 	return ticket, nil
+}
+
+// patchPlannerShareLocked applies one new share ticket to the cached
+// planner through the incremental mutators, so agreement churn skips the
+// full NewAllocator rebuild (and its exact chain re-enumeration).
+//
+// Bit-equality with the rebuild path: agreement.Matrices accumulates
+// S[from][to] += Face/FaceValue (and A[from][to] += quantity) walking
+// tickets in creation order, and this ticket is the newest, so its
+// increment is the final addition — old value plus one addition is
+// bit-identical to the rebuilt sum. Revocation has no such property
+// ((x+f)−f ≠ x in floats), which is why revokeLocked still discards the
+// planner. If the mutator refuses (enumeration budget) the planner is
+// discarded too; the rebuild path then surfaces the same refusal.
+// Callers hold s.mu.
+func (s *Server) patchPlannerShareLocked(fromP, toP int, fraction, quantity float64) {
+	al := s.planner
+	if al == nil {
+		return
+	}
+	if fromP == toP {
+		return // self-shares never reach S/A (S_ii = 0 by definition)
+	}
+	var d *core.Allocator
+	var err error
+	if fraction > 0 {
+		// The same Face/FaceValue division Matrices performs on the ticket.
+		face := s.sys.Currency(s.sys.CurrencyOf(agreement.PrincipalID(fromP))).FaceValue
+		frac := (fraction * face) / face
+		old := al.Share(fromP, toP)
+		d, err = al.SetShare(fromP, toP, old, old+frac)
+	} else {
+		old := al.Agreement(fromP, toP)
+		d, err = al.SetAgreement(fromP, toP, old, old+quantity)
+	}
+	if err != nil {
+		s.logger.Printf("grm: share: incremental planner patch refused (%v); deferring to rebuild", err)
+		s.planner = nil
+		return
+	}
+	s.planner = d
 }
 
 func (s *Server) revoke(r *RevokeRequest) *Response {
@@ -277,9 +324,9 @@ func (s *Server) reapExpired(now time.Time) int {
 }
 
 func (s *Server) caps() *Response {
-	planner, err := s.currentPlanner()
+	planner, err := s.currentPlannerLocked()
 	if err != nil {
-		return errorf("grm: caps: %v", err)
+		return errorResponse(err, "grm: caps: %v", err)
 	}
 	v := append([]float64(nil), s.avail...)
 	return &Response{Caps: &CapsReply{

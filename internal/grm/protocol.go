@@ -19,8 +19,26 @@ package grm
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
+)
+
+// ErrNoPrincipals is returned when an operation needs a planner but no
+// principal has registered yet. Unlike transient planner-build failures
+// (an infeasible agreement graph, an enumeration budget refusal), this
+// condition clears itself once the first LRM registers, so clients retry
+// instead of surfacing an error. It crosses the wire as CodeNoPrincipals
+// and is rehydrated by the client, so errors.Is works on both sides.
+var ErrNoPrincipals = errors.New("grm: no principals registered")
+
+// Error codes crossing the wire in Response.Code. Append-only: codes are
+// part of the protocol.
+const (
+	// CodeGeneric marks an error with no machine-readable classification.
+	CodeGeneric uint64 = iota
+	// CodeNoPrincipals maps ErrNoPrincipals.
+	CodeNoPrincipals
 )
 
 // Request is the envelope an LRM sends to the GRM; exactly one field is
@@ -41,7 +59,10 @@ type Request struct {
 // Response is the GRM's reply; Err is empty on success and exactly one
 // payload field is non-nil for the matching request kind.
 type Response struct {
-	Err      string
+	Err string
+	// Code classifies Err for programmatic handling (CodeGeneric when the
+	// error has no sentinel). Meaningful only when Err is non-empty.
+	Code     uint64
 	Register *RegisterReply
 	Report   *ReportReply
 	Share    *ShareReply
@@ -165,4 +186,28 @@ func init() {
 // errorf builds a Response carrying only an error.
 func errorf(format string, args ...any) *Response {
 	return &Response{Err: fmt.Sprintf(format, args...)}
+}
+
+// errorResponse is errorf for call sites holding the causing error: known
+// sentinels are mapped to their wire codes so clients can distinguish
+// them from generic failures.
+func errorResponse(err error, format string, args ...any) *Response {
+	r := errorf(format, args...)
+	if errors.Is(err, ErrNoPrincipals) {
+		r.Code = CodeNoPrincipals
+	}
+	return r
+}
+
+// wireError rehydrates a Response's error on the client side: coded
+// errors wrap their sentinel so errors.Is sees through the network
+// boundary. Returns nil when the response carries no error.
+func wireError(resp *Response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	if resp.Code == CodeNoPrincipals {
+		return fmt.Errorf("%w (remote: %s)", ErrNoPrincipals, resp.Err)
+	}
+	return errors.New(resp.Err)
 }

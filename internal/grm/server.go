@@ -57,7 +57,9 @@ type Server struct {
 	// Fields marked wal:journaled are the durable state: every mutation
 	// must happen in a *Locked helper whose call graph reaches
 	// appendLocked, so that recovery replays it (enforced by
-	// sharingvet/waljournal).
+	// sharingvet/waljournal). Fields marked wal:derived are rebuilt from
+	// the journaled books (never replayed), but still shadow them, so
+	// writes must stay inside *Locked helpers too.
 	mu        sync.Mutex
 	sys       *agreement.System      // wal:journaled
 	resources []agreement.ResourceID // wal:journaled
@@ -66,7 +68,7 @@ type Server struct {
 	avail     []float64              // wal:journaled
 	reported  []float64              // last reported capacity per principal (release cap); wal:journaled
 	names     []string               // wal:journaled
-	planner   *core.Allocator        // rebuilt lazily after structural changes
+	planner   *core.Allocator        // rebuilt lazily after structural changes; wal:derived
 	parent    *parentLink
 	attaching bool           // AttachParent reservation held across the parent dial
 	leases    map[int]*lease // wal:journaled
@@ -76,7 +78,7 @@ type Server struct {
 	// availability edits, agreement edits, and lease commits. alloc
 	// snapshots it, solves the LP outside the lock, and re-solves when the
 	// epoch moved in the meantime (optimistic concurrency).
-	epoch         uint64
+	epoch         uint64 // wal:derived
 	planConflicts uint64 // optimistic solves discarded due to an epoch move
 	// testHookUnlocked, when set, runs after alloc releases the lock for an
 	// optimistic solve; tests use it to mutate state and force a conflict.
@@ -333,11 +335,16 @@ func (s *Server) dispatch(req *Request) *Response {
 	}
 }
 
-// currentPlanner rebuilds the allocator if agreements changed. Callers
+// currentPlannerLocked rebuilds the allocator when no incremental patch
+// covered the last structural change (revocation, snapshot install,
+// replayed state, or a mutation the delta path refused). Registration
+// and share churn normally keep s.planner patched in place (see
+// registerLocked / shareLocked), so this full rebuild — with its exact
+// chain re-enumeration — is the slow path, not the common one. Callers
 // hold s.mu.
-func (s *Server) currentPlanner() (*core.Allocator, error) {
+func (s *Server) currentPlannerLocked() (*core.Allocator, error) {
 	if len(s.avail) == 0 {
-		return nil, fmt.Errorf("no principals registered")
+		return nil, ErrNoPrincipals
 	}
 	if s.planner != nil {
 		return s.planner, nil

@@ -64,7 +64,7 @@ func (s *Server) Status() (*Status, error) {
 	if len(s.avail) == 0 {
 		return out, nil
 	}
-	planner, err := s.currentPlanner()
+	planner, err := s.currentPlannerLocked()
 	if err != nil {
 		return nil, err
 	}

@@ -303,6 +303,9 @@ func (m *Model) solveTableau(ws *Workspace) (*Solution, error) {
 		sol.duals[ci] = y
 	}
 	sol.Status = Optimal
+	if ws.keepWarm {
+		ws.saveWarm(sf, t)
+	}
 	return sol, nil
 }
 

@@ -1,0 +1,208 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/num"
+)
+
+// warmTestModel builds a small production-planning LP whose RHS and
+// bounds can be rebound between solves: maximize-ish (as Minimize of
+// negatives) with capacity rows that move like availability reports.
+func warmTestModel(caps []float64, hi float64) *Model {
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, hi, -3)
+	y := m.AddVar("y", 0, hi, -2)
+	z := m.AddVar("z", 0, Inf, -4)
+	m.AddConstraint("c0", []Term{{x, 1}, {y, 2}, {z, 1}}, LE, caps[0])
+	m.AddConstraint("c1", []Term{{x, 2}, {y, 1}, {z, 3}}, LE, caps[1])
+	m.AddConstraint("c2", []Term{{x, 1}, {y, 1}, {z, 1}}, LE, caps[2])
+	return m
+}
+
+// TestResolveFromWarmMatchesCold drives a schedule of RHS/bound moves
+// through one workspace and pins every warm answer to a cold solve of
+// the same model within the num.SolveTol policy.
+func TestResolveFromWarmMatchesCold(t *testing.T) {
+	ws := &Workspace{}
+	m := warmTestModel([]float64{10, 12, 8}, 6)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatalf("seed solve: %v", err)
+	}
+	if !ws.HasWarmBasis() {
+		t.Fatal("seed ResolveFrom did not save a basis")
+	}
+	rng := rand.New(rand.NewSource(2))
+	warmHits := 0
+	for step := 0; step < 50; step++ {
+		caps := []float64{8 + 6*rng.Float64(), 9 + 6*rng.Float64(), 6 + 5*rng.Float64()}
+		hi := 4 + 4*rng.Float64()
+		m.SetRHS(0, caps[0])
+		m.SetRHS(1, caps[1])
+		m.SetRHS(2, caps[2])
+		m.SetBounds(0, 0, hi)
+		m.SetBounds(1, 0, hi)
+		got, err := m.ResolveFrom(ws)
+		if err != nil {
+			t.Fatalf("step %d: ResolveFrom: %v", step, err)
+		}
+		if got.Warm {
+			warmHits++
+		}
+		want, err := warmTestModel(caps, hi).Solve()
+		if err != nil {
+			t.Fatalf("step %d: cold reference: %v", step, err)
+		}
+		if !num.EqSolve(got.Objective, want.Objective) {
+			t.Fatalf("step %d: objective %v (warm=%v), cold %v", step, got.Objective, got.Warm, want.Objective)
+		}
+		if !m.Feasible(got.Values(), 1e-6) {
+			t.Fatalf("step %d: warm solution infeasible", step)
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("no warm hit across the whole schedule — basis reuse never fired")
+	}
+}
+
+// TestResolveFromColdOnStructureChange checks that coefficient or
+// structure drift is detected and answered with a correct cold solve.
+func TestResolveFromColdOnStructureChange(t *testing.T) {
+	ws := &Workspace{}
+	m := warmTestModel([]float64{10, 12, 8}, 6)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different coefficient matrix through the same workspace.
+	m2 := NewModel(Minimize)
+	x := m2.AddVar("x", 0, 6, -3)
+	y := m2.AddVar("y", 0, 6, -2)
+	m2.AddConstraint("c0", []Term{{x, 1}, {y, 5}}, LE, 10)
+	m2.AddConstraint("c1", []Term{{x, 2}, {y, 1}}, LE, 12)
+	got, err := m2.ResolveFrom(ws)
+	if err != nil {
+		t.Fatalf("structure change: %v", err)
+	}
+	if got.Warm {
+		t.Fatal("warm start accepted across a structural change")
+	}
+	want, err := m2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.EqSolve(got.Objective, want.Objective) {
+		t.Fatalf("objective %v, want %v", got.Objective, want.Objective)
+	}
+
+	// An objective change must also fall back (reduced costs depend on it).
+	m2.SetObjective(x, -10)
+	got, err = m2.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Warm {
+		t.Fatal("warm start accepted across an objective change")
+	}
+}
+
+// TestResolveFromSignFlipFallsBack moves an RHS across zero, which flips
+// the standard-form row sign and relayouts slack columns — the warm
+// signature must reject it and the cold fallback must still be right.
+func TestResolveFromSignFlipFallsBack(t *testing.T) {
+	ws := &Workspace{}
+	m := NewModel(Minimize)
+	x := m.AddVar("x", -10, 10, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 3)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatal(err)
+	}
+	m.SetRHS(0, -12) // adjusted rhs flips sign: layout changes
+	got, err := m.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Warm {
+		t.Fatal("warm start accepted across a row-sign flip")
+	}
+	if !num.EqSolve(got.Objective, -10) {
+		t.Fatalf("objective %v, want -10", got.Objective)
+	}
+}
+
+// TestResolveFromInfeasibleBasisFallsBack pushes the RHS to where the
+// saved basis goes primal-infeasible; the resolve must pivot cold (and
+// still succeed), not return a wrong warm answer.
+func TestResolveFromInfeasibleBasisFallsBack(t *testing.T) {
+	ws := &Workspace{}
+	m := warmTestModel([]float64{10, 12, 8}, 6)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink capacity drastically: the old basis's basic values go
+	// negative for the new b, or the optimum moves to another vertex.
+	m.SetRHS(0, 0.5)
+	m.SetRHS(1, 0.5)
+	m.SetRHS(2, 0.5)
+	got, err := m.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := warmTestModel([]float64{0.5, 0.5, 0.5}, 6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.EqSolve(got.Objective, want.Objective) {
+		t.Fatalf("objective %v (warm=%v), want %v", got.Objective, got.Warm, want.Objective)
+	}
+}
+
+// TestResolveFromDuals checks shadow prices survive the warm path.
+func TestResolveFromDuals(t *testing.T) {
+	ws := &Workspace{}
+	m := warmTestModel([]float64{10, 12, 8}, 6)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatal(err)
+	}
+	m.SetRHS(2, 7.5)
+	got, err := m.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := warmTestModel([]float64{10, 12, 7.5}, 6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumConstraints(); i++ {
+		if !num.EqSolve(got.Dual(i), want.Dual(i)) {
+			t.Fatalf("dual %d: %v (warm=%v), want %v", i, got.Dual(i), got.Warm, want.Dual(i))
+		}
+	}
+}
+
+// TestInvalidateWarm forces the next resolve cold.
+func TestInvalidateWarm(t *testing.T) {
+	ws := &Workspace{}
+	m := warmTestModel([]float64{10, 12, 8}, 6)
+	if _, err := m.ResolveFrom(ws); err != nil {
+		t.Fatal(err)
+	}
+	m.SetRHS(0, 9)
+	got, err := m.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Warm {
+		t.Fatal("expected a warm hit before invalidation")
+	}
+	ws.InvalidateWarm()
+	m.SetRHS(0, 10)
+	got, err = m.ResolveFrom(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Warm {
+		t.Fatal("warm hit after InvalidateWarm")
+	}
+}

@@ -12,6 +12,11 @@ type Workspace struct {
 	t      tableau
 	phase1 []float64
 	x      []float64
+
+	// warm is the final basis of the last ResolveFrom solve (see warm.go);
+	// keepWarm tells solveTableau to snapshot it on success.
+	warm     warmState
+	keepWarm bool
 }
 
 // SolveWithWorkspace is SolveWith drawing all solver scratch from ws. Only

@@ -1,0 +1,138 @@
+package modeltest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PlanIncrementalEquivalence (the "plan-incremental" property): an
+// allocator evolved through the incremental mutators — SetShare edge
+// updates, SetAgreement quantity updates, availability deltas — must be
+// indistinguishable from a freshly built NewAllocator over the mutated
+// matrices at every step of the schedule: same capacities, same plan
+// takes, same θ, bit for bit. The schedule is derived deterministically
+// from the graph itself (row-major pair walk, kind cycling by step), so
+// replaying a failing seed reruns the identical schedule and the shrinker
+// minimizes the divergent schedule simply by minimizing the graph; the
+// check stops at the first divergent step, so the reported step index is
+// the minimal failing prefix.
+
+// maxIncrementalSteps bounds the schedule per graph; divergence from a
+// patched closure or a stale cache shows up within a handful of
+// mutations, and CheckGraph runs on thousands of generated graphs.
+const maxIncrementalSteps = 6
+
+func (c *checker) checkIncrementalPlan() error {
+	if c.mut != MutNone {
+		// The injected bugs live in the planner stand-ins, not in the
+		// mutator path; rerunning the schedule under them tests nothing.
+		return nil
+	}
+	n := c.g.N
+	cur := c.al
+	s := cloneSquare(c.g.S)
+	var a [][]float64
+	if c.g.A != nil {
+		a = cloneSquare(c.g.A)
+	}
+	v := append([]float64(nil), c.g.V...)
+
+	step := 0
+	for i := 0; i < n && step < maxIncrementalSteps; i++ {
+		for j := 0; j < n && step < maxIncrementalSteps; j++ {
+			if i == j {
+				continue
+			}
+			switch step % 3 {
+			case 0: // relative edge update: halve a live edge or create one
+				old := s[i][j]
+				next := 0.25
+				if old > 0 {
+					next = old / 2
+				}
+				d, err := cur.SetShare(i, j, old, next)
+				if err != nil {
+					return fmt.Errorf("step %d: SetShare(%d, %d, %g, %g): %w", step, i, j, old, next, err)
+				}
+				s[i][j] = next
+				cur = d
+			case 1: // absolute agreement update (creates A when absent)
+				old := 0.0
+				if a != nil {
+					old = a[i][j]
+				}
+				next := old + 0.5
+				d, err := cur.SetAgreement(i, j, old, next)
+				if err != nil {
+					return fmt.Errorf("step %d: SetAgreement(%d, %d, %g, %g): %w", step, i, j, old, next, err)
+				}
+				if a == nil {
+					a = zeroMatrix(n)
+				}
+				a[i][j] = next
+				cur = d
+			default: // availability delta: no mutator, but the planner replans
+				v[i] += 1
+			}
+			if err := compareIncremental(cur, s, a, v, c.g.Level, step%n); err != nil {
+				return fmt.Errorf("incremental allocator diverged from fresh rebuild at step %d: %w", step, err)
+			}
+			step++
+		}
+	}
+	return nil
+}
+
+// compareIncremental pins the evolved allocator against a from-scratch
+// NewAllocator over the same matrices: capacities and one full plan must
+// agree bit for bit (the incremental paths replay NewAllocator's exact
+// per-row arithmetic, so this is equality, not tolerance).
+func compareIncremental(cur *core.Allocator, s, a [][]float64, v []float64, level, requester int) error {
+	fresh, err := core.NewAllocator(s, a, core.Config{Level: level})
+	if err != nil {
+		return fmt.Errorf("fresh rebuild refused matrices the mutators accepted: %w", err)
+	}
+	gotCaps := cur.Capacities(v)
+	wantCaps := fresh.Capacities(v)
+	for i := range wantCaps {
+		//lint:ignore sharingvet/floateq incremental results are pinned bit-identical to the rebuild
+		if gotCaps[i] != wantCaps[i] {
+			return fmt.Errorf("C[%d] = %g incremental, %g fresh", i, gotCaps[i], wantCaps[i])
+		}
+	}
+	amount := wantCaps[requester] * 0.5
+	if amount <= 0 {
+		return nil
+	}
+	got, gotErr := cur.Plan(v, requester, amount)
+	want, wantErr := fresh.Plan(v, requester, amount)
+	if (gotErr == nil) != (wantErr == nil) {
+		//lint:ignore sharingvet/errwrap property-failure description, not error propagation; one err is nil
+		return fmt.Errorf("Plan(requester=%d, amount=%g): incremental err %v, fresh err %v", requester, amount, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return nil
+	}
+	//lint:ignore sharingvet/floateq incremental results are pinned bit-identical to the rebuild
+	if got.Theta != want.Theta {
+		return fmt.Errorf("Plan(requester=%d, amount=%g): θ = %g incremental, %g fresh", requester, amount, got.Theta, want.Theta)
+	}
+	for i := range want.Take {
+		//lint:ignore sharingvet/floateq incremental results are pinned bit-identical to the rebuild
+		if got.Take[i] != want.Take[i] || got.NewV[i] != want.NewV[i] {
+			return fmt.Errorf("Plan(requester=%d, amount=%g): take[%d] = (%g, %g) incremental, (%g, %g) fresh",
+				requester, amount, i, got.Take[i], got.NewV[i], want.Take[i], want.NewV[i])
+		}
+	}
+	return nil
+}
+
+// cloneSquare deep-copies a square matrix.
+func cloneSquare(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}

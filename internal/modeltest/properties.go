@@ -105,6 +105,7 @@ func CheckGraphMutated(g *Graph, mut Mutation) *Failure {
 		{"scale-invariance", c.checkScaling},
 		{"monotonic-funding", c.checkMonotonicity},
 		{"permutation-invariance", c.checkPermutation},
+		{"plan-incremental", c.checkIncrementalPlan},
 	} {
 		if err := check.fn(); err != nil {
 			return &Failure{Property: check.name, Msg: err.Error(), Graph: g, Mutation: mut}

@@ -1,0 +1,423 @@
+package transitive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/num"
+	"repro/internal/par"
+)
+
+// ErrBudget is wrapped by UpdateEdge/UpdateRow when re-enumerating the
+// affected rows of an exact closure would exceed the handle's step
+// budget — the incremental analogue of the WithinBudget refusal guarding
+// full Exact builds. Callers should treat the mutation as "too dense to
+// enforce exactly", the same answer a from-scratch rebuild would give.
+var ErrBudget = errors.New("transitive: exact enumeration exceeds step budget")
+
+// Closure maintains a flow-coefficient matrix T^(level) incrementally
+// under single-edge and single-row agreement mutations. A full Exact (or
+// Approx) recompute touches every source row; an edge change, however,
+// can only alter the rows of principals that can reach the edge's source,
+// so the delta path recomputes exactly those rows and shares the rest.
+//
+// The affected-set argument: a cycle-free chain out of row x uses edge
+// (src,dst) only if the chain visits src first, i.e. x has a simple path
+// to src of at most level-1 edges. The reverse breadth-first search in
+// affected computes {x : dist(x→src) <= level-1}, a superset of every row
+// whose chain set mentions the edge. The set itself is stable across the
+// edit: any walk ending at src that traverses (src,dst) visited src
+// before the edge, so its prefix is a shorter walk to src that avoids it
+// — the edge can never change a shortest path TO its own source. The same
+// argument covers Approx (walk counting) and whole-row updates (every
+// edited edge leaves src).
+//
+// Recomputed rows replay the exact per-row kernels of Exact/Approx
+// (exactRow and matmulInto's row loop), so an untouched-or-recomputed row
+// is bit-for-bit identical to a from-scratch rebuild — pinned by the
+// closure tests and the modeltest incremental-equivalence property.
+//
+// Closures are copy-on-write: mutators return a derived *Closure sharing
+// every unchanged row slice with the receiver, which stays valid — the
+// concurrency model the grm server needs, where in-flight solves hold a
+// snapshot of the previous planner.
+type Closure struct {
+	// reqLevel is the level of transitivity as requested at construction,
+	// before clamping; clamping is redone against the current n so a
+	// full-transitivity closure (level >= n-1) stays full after Grow.
+	reqLevel int
+	approx   bool
+	s        [][]float64 // agreement matrix; rows shared COW with ancestors
+	t        [][]float64 // flow coefficients; rows shared COW
+	adj      [][]int32   // ascending non-zero out-edges per row; shared COW
+	edges    int
+	// budget caps the DFS steps an exact delta may enumerate (0 = no
+	// cap); exceeded budgets surface as ErrBudget before any recompute.
+	budget int
+}
+
+// blastDenominator sets the delta fallback threshold: once an update's
+// affected set covers more than 1/blastDenominator of the rows, the
+// parallel full recompute is at least as cheap as the serial per-row
+// delta and the Closure falls back to Exact/Approx wholesale.
+const blastDenominator = 2
+
+// NewClosure computes the full closure of s at the given level and wraps
+// it in an incremental handle. Like Exact/Approx it panics if Validate(s)
+// fails; validate untrusted input first. Level values beyond n-1 request
+// full transitivity and keep requesting it as the closure grows.
+func NewClosure(s [][]float64, level int, approx bool) *Closure {
+	n := len(s)
+	cs := zeros(n)
+	for i := range s {
+		copy(cs[i], s[i])
+	}
+	var t [][]float64
+	if approx {
+		t = Approx(cs, level)
+	} else {
+		t = Exact(cs, level)
+	}
+	adj, edges := adjacency(cs)
+	return &Closure{reqLevel: level, approx: approx, s: cs, t: t, adj: adj, edges: edges}
+}
+
+// N returns the number of principals.
+func (c *Closure) N() int { return len(c.s) }
+
+// Level returns the effective (clamped) level of transitivity.
+func (c *Closure) Level() int { return clampLevel(c.reqLevel, len(c.s)) }
+
+// IsApprox reports whether the closure uses the matrix-power
+// approximation instead of exact chain enumeration.
+func (c *Closure) IsApprox() bool { return c.approx }
+
+// T returns the current flow-coefficient matrix. The rows are shared
+// with the Closure (and possibly with derived Closures): callers must
+// treat both levels of the slice as read-only.
+func (c *Closure) T() [][]float64 { return c.t }
+
+// Edge returns the current agreement entry S[src][dst].
+func (c *Closure) Edge(src, dst int) float64 { return c.s[src][dst] }
+
+// WithBudget caps the DFS steps an exact delta recompute may take before
+// giving up with ErrBudget (0 removes the cap). It returns the receiver
+// for chaining at construction time; derived closures inherit the
+// budget. Mutations that would exceed it are refused before any row is
+// enumerated, mirroring the WithinBudget guard on full builds.
+func (c *Closure) WithBudget(steps int) *Closure {
+	c.budget = steps
+	return c
+}
+
+// shallow clones the slice headers so a derived closure can swap
+// individual rows without touching the receiver.
+func (c *Closure) shallow() *Closure {
+	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, edges: c.edges, budget: c.budget}
+	d.s = append([][]float64(nil), c.s...)
+	d.t = append([][]float64(nil), c.t...)
+	d.adj = append([][]int32(nil), c.adj...)
+	return d
+}
+
+// UpdateEdge derives a closure with S[src][dst] changed from oldVal to
+// newVal, recomputing only the affected rows. It returns the derived
+// closure (the receiver is unchanged and stays valid) and the ascending
+// list of rows whose T actually changed — rows recomputed to bit-identical
+// values are reported as unchanged and keep their shared slices. oldVal
+// must match the current entry; the mismatch error catches callers whose
+// shadow copy of S has drifted from the closure's.
+func (c *Closure) UpdateEdge(src, dst int, oldVal, newVal float64) (*Closure, []int, error) {
+	n := len(c.s)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): index out of range for n=%d", src, dst, n)
+	}
+	if src == dst {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): diagonal must stay zero", src, dst)
+	}
+	if newVal < 0 {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): value %g must be non-negative", src, dst, newVal)
+	}
+	if !num.IsZero(c.s[src][dst] - oldVal) {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): stale old value %g, closure holds %g", src, dst, oldVal, c.s[src][dst])
+	}
+	if num.IsZero(oldVal - newVal) {
+		return c, nil, nil
+	}
+	d := c.shallow()
+	row := append([]float64(nil), c.s[src]...)
+	row[dst] = newVal
+	d.s[src] = row
+	d.adj[src] = adjRow(row)
+	d.edges += len(d.adj[src]) - len(c.adj[src])
+	rows := c.affected(src)
+	if err := d.checkBudget(rows); err != nil {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): %w", src, dst, err)
+	}
+	return d, d.recompute(c, rows), nil
+}
+
+// UpdateRow derives a closure with the whole out-edge row S[src]
+// replaced. Validation matches Validate: the diagonal entry must be zero
+// and every entry non-negative. The affected set is the same as a single
+// edge update's — every edited edge leaves src.
+func (c *Closure) UpdateRow(src int, row []float64) (*Closure, []int, error) {
+	n := len(c.s)
+	if src < 0 || src >= n {
+		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): index out of range for n=%d", src, n)
+	}
+	if len(row) != n {
+		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): row has %d entries, want %d", src, len(row), n)
+	}
+	if !num.IsZero(row[src]) {
+		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): diagonal entry %g must be zero", src, row[src])
+	}
+	same := true
+	for j, v := range row {
+		if v < 0 {
+			return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): entry %d = %g must be non-negative", src, j, v)
+		}
+		if !num.IsZero(v - c.s[src][j]) {
+			same = false
+		}
+	}
+	if same {
+		return c, nil, nil
+	}
+	d := c.shallow()
+	d.s[src] = append([]float64(nil), row...)
+	d.adj[src] = adjRow(d.s[src])
+	d.edges += len(d.adj[src]) - len(c.adj[src])
+	rows := c.affected(src)
+	if err := d.checkBudget(rows); err != nil {
+		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): %w", src, err)
+	}
+	return d, d.recompute(c, rows), nil
+}
+
+// Grow derives a closure extended by k principals with no agreements. A
+// fresh principal has no edges, so no chain among the existing rows can
+// use it: the exact closure is the old one zero-extended, with no
+// enumeration at all. Approx closures recompute in the one corner case
+// where growing raises the clamped level (a full-transitivity request on
+// a cyclic graph gains longer walks).
+func (c *Closure) Grow(k int) *Closure {
+	if k <= 0 {
+		return c
+	}
+	n := len(c.s)
+	nn := n + k
+	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, edges: c.edges, budget: c.budget}
+	d.s = growRows(c.s, nn)
+	d.t = growRows(c.t, nn)
+	d.adj = make([][]int32, nn)
+	copy(d.adj, c.adj)
+	if c.approx && d.Level() != c.Level() {
+		d.t = Approx(d.s, d.reqLevel)
+	}
+	return d
+}
+
+// growRows copies an n×n matrix into nn×nn, zero-extending every row and
+// adding zero rows. Rows must be reallocated (they get longer), so unlike
+// the mutators this is an O(nn²) copy — but still no chain enumeration.
+func growRows(m [][]float64, nn int) [][]float64 {
+	out := make([][]float64, nn)
+	for i := range out {
+		out[i] = make([]float64, nn)
+		if i < len(m) {
+			copy(out[i], m[i])
+		}
+	}
+	return out
+}
+
+// adjRow rebuilds one adjacency list: the ascending non-zero out-edges.
+func adjRow(row []float64) []int32 {
+	var out []int32
+	for j, v := range row {
+		if !num.IsZero(v) {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// affected returns, ascending, the rows whose chain enumeration can
+// mention an edge out of src: src itself plus every row within reverse
+// distance level-1 of src. The scan walks predecessors by column lookup
+// (s[x][u] != 0) so no reverse adjacency index needs maintaining; the
+// cost is O(level · n · frontier), bounded by O(n²) — negligible next to
+// the recompute it prunes.
+func (c *Closure) affected(src int) []int {
+	n := len(c.s)
+	depth := c.Level() - 1
+	seen := make([]bool, n)
+	seen[src] = true
+	out := []int{src}
+	frontier := []int{src}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []int
+		for _, u := range frontier {
+			for x := 0; x < n; x++ {
+				if !seen[x] && !num.IsZero(c.s[x][u]) {
+					seen[x] = true
+					next = append(next, x)
+					out = append(out, x)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkBudget pre-counts the DFS steps an exact recompute of the given
+// rows would take on d's (post-update) graph — the rows the blast
+// fallback would expand to all of them — and returns ErrBudget when the
+// count exceeds the handle's budget. The counting traversal is the same
+// depth-limited adjacency walk the recompute performs, minus the float
+// work, and aborts as soon as the budget is crossed, so its own cost is
+// bounded by the budget.
+func (d *Closure) checkBudget(rows []int) error {
+	if d.approx || d.budget <= 0 {
+		return nil
+	}
+	n := len(d.s)
+	if blastDenominator*len(rows) > n {
+		rows = make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	maxLen := d.Level()
+	visited := make([]bool, n)
+	steps := 0
+	var dfs func(cur, depth int) bool
+	dfs = func(cur, depth int) bool {
+		if depth == maxLen {
+			return true
+		}
+		for _, next := range d.adj[cur] {
+			if visited[next] {
+				continue
+			}
+			steps++
+			if steps > d.budget {
+				return false
+			}
+			visited[next] = true
+			ok := dfs(int(next), depth+1)
+			visited[next] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, src := range rows {
+		visited[src] = true
+		ok := dfs(src, 0)
+		visited[src] = false
+		if !ok {
+			return fmt.Errorf("%w (%d affected rows, budget %d)", ErrBudget, len(rows), d.budget)
+		}
+	}
+	return nil
+}
+
+// recompute refreshes the given rows of d.t against d.s, comparing each
+// against prev's row: only rows that actually changed are replaced (and
+// reported), so unchanged rows keep sharing memory with prev. Past the
+// blast-radius threshold it abandons the delta and recomputes the whole
+// matrix with the parallel full kernels.
+func (d *Closure) recompute(prev *Closure, rows []int) []int {
+	n := len(d.s)
+	if blastDenominator*len(rows) > n {
+		if d.approx {
+			d.t = approxWorkers(d.s, d.reqLevel, par.Workers(n))
+		} else {
+			d.t = exactWorkers(d.s, d.reqLevel, par.Workers(n))
+		}
+		var changed []int
+		for i := 0; i < n; i++ {
+			if rowsEqual(prev.t[i], d.t[i]) {
+				d.t[i] = prev.t[i] // keep sharing the identical row
+			} else {
+				changed = append(changed, i)
+			}
+		}
+		return changed
+	}
+	maxLen := d.Level()
+	dense := 2*d.edges >= n*n
+	var p, nx []float64 // approx row scratch, reused across rows
+	var changed []int
+	for _, src := range rows {
+		fresh := make([]float64, n)
+		if d.approx {
+			if p == nil {
+				p = make([]float64, n)
+				nx = make([]float64, n)
+			}
+			d.approxRow(src, fresh, p, nx)
+		} else {
+			exactRow(d.s, d.adj, src, maxLen, fresh, dense)
+		}
+		if rowsEqual(prev.t[src], fresh) {
+			continue
+		}
+		d.t[src] = fresh
+		changed = append(changed, src)
+	}
+	return changed
+}
+
+// approxRow computes one row of Σ_{k=1..level} S^k. Row src of S^k
+// depends only on row src of S^(k-1), so the row iterates a vector-matrix
+// product — replicating matmulInto's per-row operation order (ascending
+// k, zero entries skipped, ascending j accumulation) and approxWorkers'
+// add order exactly, which is what makes the result bit-identical to the
+// full recompute.
+func (d *Closure) approxRow(src int, sum, p, nx []float64) {
+	n := len(d.s)
+	copy(p, d.s[src])
+	for j := 0; j < n; j++ {
+		sum[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		sum[j] += p[j]
+	}
+	maxLen := d.Level()
+	for k := 2; k <= maxLen; k++ {
+		for j := 0; j < n; j++ {
+			nx[j] = 0
+		}
+		for kk := 0; kk < n; kk++ {
+			aik := p[kk]
+			if num.IsZero(aik) {
+				continue
+			}
+			bk := d.s[kk]
+			for j := 0; j < n; j++ {
+				nx[j] += aik * bk[j]
+			}
+		}
+		p, nx = nx, p
+		for j := 0; j < n; j++ {
+			sum[j] += p[j]
+		}
+	}
+}
+
+// rowsEqual reports whether two rows hold identical values.
+func rowsEqual(a, b []float64) bool {
+	for i := range a {
+		if !num.IsZero(a[i] - b[i]) {
+			return false
+		}
+	}
+	return true
+}
