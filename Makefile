@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check modeltest bench bench-json bench-compare loadgen-json fuzz wire-manifest clean
+.PHONY: build test race lint check modeltest scenarios bench bench-json bench-compare loadgen-json fuzz wire-manifest clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # Race-enabled run of the concurrency-critical packages plus a plain run
 # of everything else (LP benches are pure-CPU and slow under -race).
 race:
-	$(GO) test -race ./internal/grm/... ./internal/store/... ./internal/core/... ./internal/batch/... ./internal/sim/... ./internal/metrics/... ./internal/modeltest/... ./internal/vclock/...
+	$(GO) test -race ./internal/grm/... ./internal/store/... ./internal/core/... ./internal/batch/... ./internal/sim/... ./internal/metrics/... ./internal/modeltest/... ./internal/vclock/... ./internal/scenario/...
 
 # Model-based testing campaign (DESIGN.md §8): random agreement graphs
 # checked against brute-force oracles, deterministic GRM cluster
@@ -29,6 +29,13 @@ MODELTEST_ITERS ?= 1000
 modeltest:
 	$(GO) run ./cmd/sharingcheck -seed $(MODELTEST_SEED) -iters $(MODELTEST_ITERS) \
 		-cluster-runs 3 -cluster-steps 200 -mutations -out modeltest-failure.json
+
+# Replay the checked-in scenario corpus (SCENARIOS.md) under both wire
+# codecs: every bundle must reproduce its blessed outcomes exactly. A
+# divergence report lands in scenario-divergence.txt — the CI scenarios
+# job uploads it as an artifact.
+scenarios:
+	$(GO) run ./cmd/scenario verify -codec both -report scenario-divergence.txt ./scenarios/...
 
 # Static analysis: the seven sharingvet analyzers (floateq, errwrap,
 # lockedio, netdeadline, plus the call-graph-aware lockorder, waljournal
@@ -89,9 +96,10 @@ LOADGEN_DURATION ?= 3s
 loadgen-json:
 	$(GO) run ./cmd/loadgen -json BENCH_transport.json -duration $(LOADGEN_DURATION)
 
-# Short local fuzz pass over the snapshot decoder.
+# Short local fuzz passes over the snapshot and scenario-bundle decoders.
 fuzz:
 	$(GO) test ./internal/agreement/ -fuzz FuzzSnapshotDecode -fuzztime 30s
+	$(GO) test ./internal/scenario/ -fuzz FuzzBundleDecode -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -35,12 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
 	"repro/internal/grm"
+	"repro/internal/scenario"
 	"repro/internal/store"
 )
 
@@ -61,6 +63,7 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "directory for the write-ahead log; state is replayed from it on boot (empty = volatile)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "fold the WAL into a compacted snapshot this often (0 = never; requires -wal-dir)")
 		codec        = flag.String("codec", "auto", "wire codec for the parent link: auto, binary, or gob (the listener always serves both)")
+		record       = flag.String("record", "", "capture live traffic into a scenario bundle written to this directory on shutdown (see SCENARIOS.md)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,21 @@ func main() {
 	server := grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
 	server.SetLeaseTTL(*leaseTTL)
 	server.SetTimeouts(*idle, *ioTimeout)
+
+	var recorder *scenario.Recorder
+	if *record != "" {
+		recorder = scenario.NewRecorder(scenario.Meta{
+			Name:    filepath.Base(*record),
+			Title:   "grmd live recording",
+			Source:  fmt.Sprintf("grmd -record (level=%d approx=%v)", *level, *approx),
+			Created: time.Now().UTC().Format(time.RFC3339),
+			TTLMS:   leaseTTL.Milliseconds(),
+			Level:   *level,
+			Approx:  *approx,
+		})
+		server.SetTap(recorder.Tap)
+		logger.Printf("recording traffic into scenario bundle %s", *record)
+	}
 
 	var wal *store.FileLog
 	recovered := false
@@ -204,6 +222,17 @@ func main() {
 	if wal != nil {
 		if cerr := wal.Close(); cerr != nil {
 			logger.Printf("wal close: %v", cerr)
+		}
+	}
+	if recorder != nil {
+		if n := recorder.Len(); n > 0 {
+			if werr := scenario.WriteBundle(*record, recorder.Bundle()); werr != nil {
+				logger.Printf("writing scenario bundle: %v", werr)
+			} else {
+				logger.Printf("scenario bundle with %d events written to %s (bless it with: scenario rebless %s)", n, *record, *record)
+			}
+		} else {
+			logger.Printf("no traffic captured; scenario bundle %s not written", *record)
 		}
 	}
 	if err != nil && !errors.Is(err, net.ErrClosed) {

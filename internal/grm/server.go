@@ -96,6 +96,11 @@ type Server struct {
 	// deadlines stay on real time — they are compared by the kernel.
 	clock vclock.Clock
 
+	// tap, when set, observes every dispatched request/response pair
+	// together with a post-operation snapshot of the books. It feeds the
+	// scenario recorder (internal/scenario, grmd -record).
+	tap Tap
+
 	leaseTTL  time.Duration // 0 = leases never expire
 	reapEvery time.Duration
 
@@ -300,11 +305,66 @@ func (s *Server) installSnapshotLocked(snap *agreement.Snapshot, raw []byte) err
 	return nil
 }
 
-// dispatch serves one decoded request envelope. Allocation and release
-// manage the lock themselves (allocation runs through the batching
-// pipeline, release may perform a parent-GRM round trip); everything else
-// runs under one critical section.
+// TapEvent is one observed operation: the wire envelopes plus a snapshot
+// of the books taken right after the operation committed. Under
+// sequential traffic (one outstanding request) the snapshot is exactly
+// the post-operation state; under pipelined concurrent traffic events
+// from different connections may interleave between commit and snapshot,
+// which is why recorded bundles from concurrent capture should be
+// re-blessed before use (see internal/scenario).
+type TapEvent struct {
+	// Now is the server clock's reading at snapshot time.
+	Now time.Time
+	// Req and Resp are the dispatched envelopes. The tap must not retain
+	// or mutate them past its return.
+	Req  *Request
+	Resp *Response
+	// Avail is a copy of the availability view after the operation.
+	Avail []float64
+	// Leases is the number of outstanding leases after the operation.
+	Leases int
+}
+
+// Tap observes committed operations for recording. It is called outside
+// the server's state lock and must not call back into the server except
+// for read-only accessors.
+type Tap func(TapEvent)
+
+// SetTap installs (or, with nil, removes) the operation tap. Call before
+// Serve for a complete capture.
+func (s *Server) SetTap(tap Tap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tap = tap
+}
+
+// dispatch serves one decoded request envelope and feeds the record tap,
+// when one is installed, with the response and the post-operation books.
 func (s *Server) dispatch(req *Request) *Response {
+	resp := s.dispatchInner(req)
+	s.mu.Lock()
+	tap := s.tap
+	if tap == nil {
+		s.mu.Unlock()
+		return resp
+	}
+	ev := TapEvent{
+		Now:    s.clock.Now(),
+		Req:    req,
+		Resp:   resp,
+		Avail:  append([]float64(nil), s.avail...),
+		Leases: len(s.leases),
+	}
+	s.mu.Unlock()
+	tap(ev)
+	return resp
+}
+
+// dispatchInner serves one decoded request envelope. Allocation and
+// release manage the lock themselves (allocation runs through the
+// batching pipeline, release may perform a parent-GRM round trip);
+// everything else runs under one critical section.
+func (s *Server) dispatchInner(req *Request) *Response {
 	if req.Alloc != nil {
 		return s.alloc(req.Alloc)
 	}

@@ -35,6 +35,11 @@ type ClusterOptions struct {
 	// its trace are codec-independent, so the same seed must produce a
 	// byte-identical trace under every codec.
 	Codec grm.WireCodec
+	// Tap, when non-nil, is installed on every GRM the run creates —
+	// the initial server and each restart-recovered one — so a scenario
+	// recorder (internal/scenario) can capture the whole schedule as a
+	// replayable bundle.
+	Tap grm.Tap
 }
 
 // ClusterFailure pinpoints an invariant violation in a cluster run.
@@ -151,6 +156,7 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 	wal := store.NewMemLog()
 	srv := grm.NewServer(core.Config{}, nil)
 	srv.SetClock(vc)
+	srv.SetTap(opts.Tap)
 	if err := srv.Recover(wal); err != nil {
 		return nil, fmt.Errorf("modeltest: cluster attach wal: %w", err)
 	}
@@ -433,7 +439,11 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 			line = fmt.Sprintf("kill p%d", p)
 
 		case 9: // advance the virtual clock and reap
-			d := opts.TTL / 3 * time.Duration(1+rng.Intn(5))
+			// Keep advances on a whole-millisecond grid: the scenario
+			// recorder captures timestamps at millisecond resolution, and a
+			// sub-millisecond advance would shift lease-expiry boundaries
+			// between a recording and its replay.
+			d := (opts.TTL / 3 * time.Duration(1+rng.Intn(5))).Truncate(time.Millisecond)
 			vc.Advance(d)
 			now := vc.Now()
 			reaped := srv.Reap()
@@ -462,6 +472,7 @@ func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
 			}
 			srv = grm.NewServer(core.Config{}, nil)
 			srv.SetClock(vc)
+			srv.SetTap(opts.Tap)
 			if err := srv.Recover(wal); err != nil {
 				return fail(step, "restart", "Recover: %v", err), nil
 			}

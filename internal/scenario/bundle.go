@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Bundle is a fully decoded scenario: metadata, the event log, and the
+// expected outcomes keyed sparsely by event index.
+type Bundle struct {
+	Meta     Meta
+	Events   []Event
+	Expected map[int]*Outcome
+	// Dir is where the bundle was read from ("" for in-memory bundles).
+	Dir string
+}
+
+// File names inside a bundle directory.
+const (
+	MetaFile     = "meta.json"
+	EventsFile   = "events.jsonl"
+	ExpectedFile = "expected.jsonl"
+)
+
+// DecodeBundle parses the three bundle files from raw bytes, applying
+// every structural check: format version, well-formed JSON on each line,
+// non-decreasing timestamps, known operations, the meta event-count
+// cross-check (truncated or padded logs fail), and strictly increasing
+// in-range expectation indices. It never panics on hostile input — the
+// property FuzzBundleDecode pins.
+func DecodeBundle(metaRaw, eventsRaw, expectedRaw []byte) (*Bundle, error) {
+	b := &Bundle{Expected: make(map[int]*Outcome)}
+
+	dec := json.NewDecoder(bytes.NewReader(metaRaw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b.Meta); err != nil {
+		return nil, fmt.Errorf("%s: %w", MetaFile, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%s: trailing data after metadata object", MetaFile)
+	}
+	if b.Meta.Format != FormatVersion {
+		return nil, fmt.Errorf("%s: unsupported format %d (want %d)", MetaFile, b.Meta.Format, FormatVersion)
+	}
+	if b.Meta.Name == "" {
+		return nil, fmt.Errorf("%s: empty name", MetaFile)
+	}
+	if b.Meta.Events < 0 {
+		return nil, fmt.Errorf("%s: negative event count %d", MetaFile, b.Meta.Events)
+	}
+	if b.Meta.TTLMS < 0 {
+		return nil, fmt.Errorf("%s: negative ttl_ms %d", MetaFile, b.Meta.TTLMS)
+	}
+	if b.Meta.Tolerance < 0 {
+		return nil, fmt.Errorf("%s: negative tolerance %g", MetaFile, b.Meta.Tolerance)
+	}
+
+	var lastT int64
+	if err := eachLine(eventsRaw, func(lineno int, line []byte) error {
+		var ev Event
+		if err := decodeStrict(line, &ev); err != nil {
+			return fmt.Errorf("%s:%d: %w", EventsFile, lineno, err)
+		}
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("%s:%d: %w", EventsFile, lineno, err)
+		}
+		if ev.T < lastT {
+			return fmt.Errorf("%s:%d: timestamp %d out of order (previous %d)", EventsFile, lineno, ev.T, lastT)
+		}
+		lastT = ev.T
+		b.Events = append(b.Events, ev)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(b.Events) != b.Meta.Events {
+		return nil, fmt.Errorf("%s: %d events but meta.json declares %d (truncated or stale log)",
+			EventsFile, len(b.Events), b.Meta.Events)
+	}
+
+	lastI := -1
+	if err := eachLine(expectedRaw, func(lineno int, line []byte) error {
+		var out Outcome
+		if err := decodeStrict(line, &out); err != nil {
+			return fmt.Errorf("%s:%d: %w", ExpectedFile, lineno, err)
+		}
+		if out.I <= lastI {
+			return fmt.Errorf("%s:%d: index %d out of order (previous %d)", ExpectedFile, lineno, out.I, lastI)
+		}
+		if out.I >= len(b.Events) {
+			return fmt.Errorf("%s:%d: index %d beyond last event %d", ExpectedFile, lineno, out.I, len(b.Events)-1)
+		}
+		lastI = out.I
+		o := out
+		b.Expected[out.I] = &o
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// decodeStrict unmarshals one JSONL line, rejecting unknown fields and
+// trailing garbage after the object.
+func decodeStrict(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}
+
+// eachLine feeds non-empty lines to fn with 1-based line numbers.
+func eachLine(raw []byte, fn func(lineno int, line []byte) error) error {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(lineno, line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadBundle loads and decodes the bundle stored in dir.
+func ReadBundle(dir string) (*Bundle, error) {
+	metaRaw, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return nil, err
+	}
+	eventsRaw, err := os.ReadFile(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return nil, err
+	}
+	// expected.jsonl is optional on disk: a freshly recorded bundle may
+	// not have been blessed yet.
+	expectedRaw, err := os.ReadFile(filepath.Join(dir, ExpectedFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	b, err := DecodeBundle(metaRaw, eventsRaw, expectedRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	b.Dir = dir
+	return b, nil
+}
+
+// WriteBundle writes the bundle's three files into dir, creating it if
+// needed. Meta.Events is forced to match the log before writing so
+// written bundles always pass their own cross-check.
+func WriteBundle(dir string, b *Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b.Meta.Events = len(b.Events)
+	if b.Meta.Format == 0 {
+		b.Meta.Format = FormatVersion
+	}
+	metaRaw, err := json.MarshalIndent(&b.Meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), append(metaRaw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	var events bytes.Buffer
+	for i := range b.Events {
+		line, err := json.Marshal(&b.Events[i])
+		if err != nil {
+			return err
+		}
+		events.Write(line)
+		events.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, EventsFile), events.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	var expected bytes.Buffer
+	for _, i := range sortedIndices(b.Expected) {
+		// The map key is authoritative; stamp it into the line so decoded
+		// indices round-trip no matter how the outcome was produced.
+		out := *b.Expected[i]
+		out.I = i
+		line, err := json.Marshal(&out)
+		if err != nil {
+			return err
+		}
+		expected.Write(line)
+		expected.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, ExpectedFile), expected.Bytes(), 0o644)
+}
+
+// sortedIndices returns the expectation indices in ascending order.
+func sortedIndices(m map[int]*Outcome) []int {
+	idx := make([]int, 0, len(m))
+	for i := range m {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Trace renders the bundle's expected outcomes as a replay trace — the
+// reference half of the byte-identity property Result.Trace satisfies
+// when a replay diverges nowhere.
+func (b *Bundle) Trace() string {
+	var sb strings.Builder
+	for i := range b.Events {
+		sb.WriteString(renderLine(i, b.Events[i].T, &b.Events[i], b.Expected[i]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Discover expands paths into bundle directories. A path ending in
+// "/..." is walked recursively for directories containing meta.json;
+// other paths must themselves be bundle directories.
+func Discover(paths []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range paths {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			root := filepath.Clean(rest)
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if _, statErr := os.Stat(filepath.Join(path, MetaFile)); statErr == nil {
+						add(path)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(p, MetaFile)); err != nil {
+			return nil, fmt.Errorf("%s: not a scenario bundle: %w", p, err)
+		}
+		add(p)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

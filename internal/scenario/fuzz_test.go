@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBundleDecode hammers the three bundle files with arbitrary bytes:
+// the decoder must reject malformed input with an error — never panic —
+// and anything it accepts must satisfy the format invariants the replay
+// driver depends on (event count matching meta, non-decreasing
+// timestamps, in-range strictly-increasing expectation indices).
+func FuzzBundleDecode(f *testing.F) {
+	goodMeta := `{"format":1,"name":"x","events":2,"ttl_ms":5000}`
+	goodEvents := `{"t":0,"op":"register","name":"a","capacity":1}` + "\n" +
+		`{"t":10,"op":"alloc","p":0,"amount":0.5}` + "\n"
+	goodExpected := `{"i":0,"principal":0,"avail":[1],"leases":0}` + "\n" +
+		`{"i":1,"err":"*"}` + "\n"
+
+	f.Add([]byte(goodMeta), []byte(goodEvents), []byte(goodExpected))
+	// One seed per malformation class the tests pin, so the fuzzer
+	// starts from each rejection path's frontier.
+	f.Add([]byte(`{`), []byte(""), []byte(""))                                                               // truncated meta
+	f.Add([]byte(goodMeta+` {"x":1}`), []byte(goodEvents), []byte(""))                                       // trailing meta data
+	f.Add([]byte(`{"format":99,"name":"x","events":0}`), []byte(""), []byte(""))                             // wrong format
+	f.Add([]byte(`{"format":1,"name":"x","events":7}`), []byte(goodEvents), []byte(""))                      // truncated log
+	f.Add([]byte(goodMeta), []byte("{not json}\n"), []byte(""))                                              // malformed event line
+	f.Add([]byte(goodMeta), []byte(`{"t":5,"op":"advance"}`+"\n"+`{"t":4,"op":"advance"}`+"\n"), []byte("")) // out-of-order timestamps
+	f.Add([]byte(goodMeta), []byte(`{"t":0,"op":"frobnicate"}`+"\n"), []byte(""))                            // unknown op
+	f.Add([]byte(goodMeta), []byte(goodEvents), []byte(`{"i":1}`+"\n"+`{"i":0}`+"\n"))                       // out-of-order expectations
+	f.Add([]byte(goodMeta), []byte(goodEvents), []byte(`{"i":9}`+"\n"))                                      // expectation beyond events
+	f.Add([]byte(goodMeta), []byte(goodEvents[:len(goodEvents)/2]), []byte(goodExpected))                    // mid-line truncation
+	f.Add([]byte("\x00\x01\x02"), []byte("\xff\xfe"), []byte("\x00"))                                        // binary garbage
+
+	f.Fuzz(func(t *testing.T, metaRaw, eventsRaw, expectedRaw []byte) {
+		b, err := DecodeBundle(metaRaw, eventsRaw, expectedRaw)
+		if err != nil {
+			if b != nil {
+				t.Fatal("decoder returned both a bundle and an error")
+			}
+			return
+		}
+		if b.Meta.Format != FormatVersion || strings.TrimSpace(b.Meta.Name) == "" {
+			t.Fatalf("accepted bundle with invalid meta: %+v", b.Meta)
+		}
+		if len(b.Events) != b.Meta.Events {
+			t.Fatalf("accepted %d events against meta count %d", len(b.Events), b.Meta.Events)
+		}
+		last := int64(0)
+		for i, ev := range b.Events {
+			if ev.T < last {
+				t.Fatalf("accepted out-of-order timestamp at event %d: %d < %d", i, ev.T, last)
+			}
+			last = ev.T
+			if err := ev.Validate(); err != nil {
+				t.Fatalf("accepted invalid event %d: %v", i, err)
+			}
+		}
+		for i, out := range b.Expected {
+			if i < 0 || i >= len(b.Events) {
+				t.Fatalf("accepted out-of-range expectation index %d", i)
+			}
+			if out == nil {
+				t.Fatalf("accepted nil expectation at %d", i)
+			}
+		}
+	})
+}

@@ -118,3 +118,125 @@ func TestRealClock(t *testing.T) {
 		t.Fatal("real ticker never fired")
 	}
 }
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1s) did not panic")
+		}
+	}()
+	v.Advance(-time.Second)
+}
+
+func TestVirtualNewTickerNonPositivePanics(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	for _, d := range []time.Duration{0, -time.Millisecond} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTicker(%v) did not panic", d)
+				}
+			}()
+			v.NewTicker(d)
+		}()
+	}
+}
+
+func TestVirtualAdvanceZeroFiresNothing(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	// A zero advance crosses no deadline, even repeated at one.
+	v.Advance(0)
+	v.Advance(time.Millisecond)
+	<-tk.C()
+	v.Advance(0)
+	select {
+	case at := <-tk.C():
+		t.Fatalf("Advance(0) fired a tick at %v", at)
+	default:
+	}
+}
+
+func TestVirtualTickerStopWhilePending(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tk := v.NewTicker(time.Millisecond)
+	// Deliver a tick nobody has consumed, then stop: like time.Ticker,
+	// Stop neither drains the channel nor closes it, so the pending tick
+	// stays readable and no further ticks arrive.
+	v.Advance(time.Millisecond)
+	tk.Stop()
+	select {
+	case at := <-tk.C():
+		if !at.Equal(time.Unix(0, 0).Add(time.Millisecond)) {
+			t.Errorf("pending tick at %v, want +1ms", at)
+		}
+	default:
+		t.Fatal("tick pending before Stop was dropped")
+	}
+	v.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired again")
+	default:
+	}
+	// Stopping twice is harmless.
+	tk.Stop()
+}
+
+func TestVirtualMultipleWaitersReleasedDeterministically(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 5
+	// Periods n..2n-1 with an advance of 2n-1: every ticker crosses
+	// exactly one deadline, so the release set and every timestamp are
+	// fully determined — no drop-vs-drain scheduling races.
+	tickers := make([]Ticker, n)
+	for i := range tickers {
+		tickers[i] = v.NewTicker(time.Duration(n+i) * time.Millisecond)
+		defer tickers[i].Stop()
+	}
+	// n goroutines block on their tickers; one Advance past every
+	// deadline must release each exactly once.
+	type got struct {
+		i  int
+		at time.Time
+	}
+	results := make(chan got, n)
+	var wg sync.WaitGroup
+	for i := range tickers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- got{i, <-tickers[i].C()}
+		}(i)
+	}
+	v.Advance(time.Duration(2*n-1) * time.Millisecond)
+	wg.Wait()
+	close(results)
+	seen := make(map[int]time.Time, n)
+	for r := range results {
+		if prev, dup := seen[r.i]; dup {
+			t.Fatalf("waiter %d released twice (%v, %v)", r.i, prev, r.at)
+		}
+		seen[r.i] = r.at
+	}
+	for i := 0; i < n; i++ {
+		want := time.Unix(0, 0).Add(time.Duration(n+i) * time.Millisecond)
+		at, ok := seen[i]
+		if !ok {
+			t.Fatalf("waiter %d never released", i)
+		}
+		if !at.Equal(want) {
+			t.Errorf("waiter %d released at %v, want its first deadline %v", i, at, want)
+		}
+	}
+	// No straggler ticks beyond the single pending one per ticker.
+	for i, tk := range tickers {
+		select {
+		case at := <-tk.C():
+			t.Errorf("ticker %d had an extra queued tick at %v", i, at)
+		default:
+		}
+	}
+}
