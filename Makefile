@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check modeltest scenarios bench bench-json bench-compare loadgen-json fuzz wire-manifest clean
+.PHONY: build test race lint check modeltest scale scenarios bench bench-json bench-compare loadgen-json fuzz wire-manifest clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ MODELTEST_ITERS ?= 1000
 modeltest:
 	$(GO) run ./cmd/sharingcheck -seed $(MODELTEST_SEED) -iters $(MODELTEST_ITERS) \
 		-cluster-runs 3 -cluster-steps 200 -mutations -out modeltest-failure.json
+
+# Full-size tree-cluster run (DESIGN.md §7d): 3 GRM levels, 16 leaf
+# shards, 10^5 principals, 1000 wire LRMs under the fixed seed, run
+# twice to prove the trace is byte-identical at scale. Minutes of wall
+# clock — gated behind MODELTEST_SCALE, which this target sets; the CI
+# scale job runs exactly this.
+scale:
+	MODELTEST_SCALE=1 $(GO) test ./internal/modeltest -run TestModelTreeScale \
+		-v -timeout 45m -tree-seed $(MODELTEST_SEED)
 
 # Replay the checked-in scenario corpus (SCENARIOS.md) under both wire
 # codecs: every bundle must reproduce its blessed outcomes exactly. A

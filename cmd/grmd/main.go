@@ -8,6 +8,7 @@
 //	grmd -listen :7071 -parent host:7070 -name cluster-east
 //	grmd -listen :7070 -lease-ttl 5m -idle-timeout 10m
 //	grmd -listen :7070 -wal-dir /var/lib/grmd -snapshot-interval 5m
+//	grmd -listen :7072 -shards 4 -parent host:7071 -name site-a
 //
 // With -parent, the GRM attaches to a higher-level GRM as one aggregated
 // principal, realizing the paper's multi-level GRM architecture; the
@@ -15,6 +16,15 @@
 // reconnects (re-registering under the same cluster name) if it later
 // dies. -lease-ttl reclaims allocations whose holder vanished without
 // releasing; clients keep long-lived leases with Renew.
+//
+// With -shards N, the books are partitioned across N independent shards
+// by the first '/'-segment of each principal's name (so one subtree —
+// "site-a/worker3" — stays on one shard, and sharing agreements must be
+// intra-subtree). Each shard keeps its own allocation pipeline and, with
+// -wal-dir, its own write-ahead log in a shard<i>/ subdirectory that
+// replays independently on boot. The cluster attaches to -parent as one
+// aggregated principal summing shard availability. -agreements and
+// -record require the single-book server.
 //
 // With -wal-dir, every committed state transition is appended to a
 // write-ahead log in that directory and, on the next boot, replayed so
@@ -46,11 +56,25 @@ import (
 	"repro/internal/store"
 )
 
+// grmNode is the surface grmd drives on either server shape: the plain
+// single-book GRM or the subtree shard router.
+type grmNode interface {
+	SetLeaseTTL(ttl time.Duration)
+	SetTimeouts(idle, write time.Duration)
+	Status() (*grm.Status, error)
+	AttachParentConfig(addr, name string, cfg grm.DialConfig) error
+	Compact() error
+	Serve(l net.Listener) error
+	Close() error
+	http.Handler
+}
+
 func main() {
 	var (
 		listen       = flag.String("listen", ":7070", "address to listen on")
 		level        = flag.Int("level", 0, "transitivity level (0 = full closure)")
 		approx       = flag.Bool("approx", false, "use matrix-power approximation for flow coefficients")
+		shards       = flag.Int("shards", 1, "shard the books across this many principal subtrees (per-shard WAL and pipeline; 1 = unsharded)")
 		parent       = flag.String("parent", "", "optional parent GRM address for multi-level operation")
 		name         = flag.String("name", "cluster", "cluster name when attaching to a parent")
 		agreements   = flag.String("agreements", "", "JSON agreements snapshot to preload (see internal/agreement.Snapshot)")
@@ -74,12 +98,31 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "grmd ", log.LstdFlags)
-	server := grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "grmd: -shards must be at least 1\n")
+		os.Exit(2)
+	}
+	// server is the books either way; with -shards > 1 it is the shard
+	// router and a few single-book features are refused below.
+	var server grmNode
+	var cluster *grm.Sharded
+	var single *grm.Server
+	if *shards > 1 {
+		cluster = grm.NewSharded(*shards, core.Config{Level: *level, Approx: *approx}, logger)
+		server = cluster
+	} else {
+		single = grm.NewServer(core.Config{Level: *level, Approx: *approx}, logger)
+		server = single
+	}
 	server.SetLeaseTTL(*leaseTTL)
 	server.SetTimeouts(*idle, *ioTimeout)
 
 	var recorder *scenario.Recorder
 	if *record != "" {
+		if single == nil {
+			fmt.Fprintf(os.Stderr, "grmd: -record is not supported with -shards > 1\n")
+			os.Exit(2)
+		}
 		recorder = scenario.NewRecorder(scenario.Meta{
 			Name:    filepath.Base(*record),
 			Title:   "grmd live recording",
@@ -89,22 +132,41 @@ func main() {
 			Level:   *level,
 			Approx:  *approx,
 		})
-		server.SetTap(recorder.Tap)
+		single.SetTap(recorder.Tap)
 		logger.Printf("recording traffic into scenario bundle %s", *record)
 	}
 
-	var wal *store.FileLog
+	// With -shards, each shard journals into its own subdirectory of
+	// -wal-dir (shard0/ ... shardN-1/) and replays independently.
+	var wals []*store.FileLog
 	recovered := false
 	if *walDir != "" {
-		var err error
-		wal, err = store.OpenFileLog(*walDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: open wal: %v\n", err)
-			os.Exit(1)
-		}
-		if err := server.Recover(wal); err != nil {
-			fmt.Fprintf(os.Stderr, "grmd: recover: %v\n", err)
-			os.Exit(1)
+		if single != nil {
+			wal, err := store.OpenFileLog(*walDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: open wal: %v\n", err)
+				os.Exit(1)
+			}
+			wals = append(wals, wal)
+			if err := single.Recover(wal); err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: recover: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			logs := make([]store.Log, cluster.NumShards())
+			for i := range logs {
+				wal, err := store.OpenFileLog(filepath.Join(*walDir, fmt.Sprintf("shard%d", i)))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "grmd: open wal shard %d: %v\n", i, err)
+					os.Exit(1)
+				}
+				wals = append(wals, wal)
+				logs[i] = wal
+			}
+			if err := cluster.RecoverShards(logs); err != nil {
+				fmt.Fprintf(os.Stderr, "grmd: recover: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		st, err := server.Status()
 		if err != nil {
@@ -116,12 +178,25 @@ func main() {
 			logger.Printf("recovered from %s: %d principals, %d leases, %d agreements",
 				*walDir, len(st.Principals), st.Leases, st.Agreements)
 		}
-		if borrows := server.UnresolvedBorrows(); len(borrows) > 0 {
-			logger.Printf("recovered leases hold unresolved federation borrows (parent leases %v); the parent's lease TTL reclaims them", borrows)
+		unresolved := 0
+		for _, b := range st.Federation.Borrows {
+			if b.Unresolved {
+				unresolved++
+			}
+		}
+		if unresolved > 0 {
+			logger.Printf("%d recovered leases hold unresolved federation borrows; the parent's lease TTL reclaims them", unresolved)
 		}
 	}
 
 	if *agreements != "" {
+		if single == nil {
+			// A declared snapshot is one coherent book; splitting it across
+			// subtree shards (and refusing its cross-subtree agreements) is
+			// not what the operator meant. Preload per shard via the wire.
+			fmt.Fprintf(os.Stderr, "grmd: -agreements is not supported with -shards > 1\n")
+			os.Exit(2)
+		}
 		if recovered {
 			// The replayed log already contains the loaded snapshot (and
 			// everything that happened after it); loading again would
@@ -139,7 +214,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
 				os.Exit(1)
 			}
-			if err := server.LoadSnapshot(snap); err != nil {
+			if err := single.LoadSnapshot(snap); err != nil {
 				fmt.Fprintf(os.Stderr, "grmd: %v\n", err)
 				os.Exit(1)
 			}
@@ -188,7 +263,7 @@ func main() {
 
 	// Periodic WAL compaction bounds replay time after a restart.
 	stopCompact := make(chan struct{})
-	if wal != nil && *snapInterval > 0 {
+	if len(wals) > 0 && *snapInterval > 0 {
 		go func() {
 			t := time.NewTicker(*snapInterval)
 			defer t.Stop()
@@ -219,7 +294,7 @@ func main() {
 
 	err = server.Serve(l)
 	close(stopCompact)
-	if wal != nil {
+	for _, wal := range wals {
 		if cerr := wal.Close(); cerr != nil {
 			logger.Printf("wal close: %v", cerr)
 		}

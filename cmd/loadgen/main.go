@@ -21,6 +21,10 @@
 // MemStats deltas). -rtt injects a simulated network round trip on the
 // client side (default 1ms — GRMs federate across clusters, and raw
 // loopback hides the blocking cost of an alternating protocol).
+// -shards N shards the in-process server across N subtrees (the grm
+// shard router, one WAL and pipeline per shard) and -principals P
+// bulk-registers P principals with sparse agreement blocks before
+// driving, so plans run against a populated book.
 //
 // -json FILE runs the standard comparison suite and writes
 // BENCH_transport.json: the gob codec at depth 1 (its stream is strictly
@@ -77,6 +81,8 @@ func main() {
 		ramp     = flag.String("ramp", "", "comma-separated connection counts; runs the closed loop at each")
 		jsonOut  = flag.String("json", "", "run the gob-vs-binary comparison suite and write this JSON file")
 		seed     = flag.Int64("seed", 1, "seed for arrival gaps and the report value stream")
+		shards   = flag.Int("shards", 0, "shard the in-process server across this many subtrees (0 = unsharded; ignored with -grm)")
+		bulk     = flag.Int("principals", 0, "bulk principals to pre-register on the in-process server, with sparse agreement blocks")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "loadgen ", 0)
@@ -88,12 +94,14 @@ func main() {
 	target := *addr
 	inProcess := target == ""
 	if inProcess {
-		srv, listenAddr, err := spawnServer()
+		srv, listenAddr, err := spawnServer(*shards, *bulk, *seed)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		defer srv.Close()
 		target = listenAddr
+	} else if *shards > 0 || *bulk > 0 {
+		logger.Fatal("-shards and -principals shape the in-process server; drop -grm to use them")
 	}
 
 	base := runConfig{
@@ -105,7 +113,7 @@ func main() {
 		if !inProcess {
 			logger.Fatal("-json needs the in-process server (drop -grm) so allocs/op covers both sides")
 		}
-		if err := runSuite(*jsonOut, base, *conns, *depth, logger); err != nil {
+		if err := runSuite(*jsonOut, base, *conns, *depth, *shards, *bulk, logger); err != nil {
 			logger.Fatal(err)
 		}
 		return
@@ -137,15 +145,80 @@ func main() {
 	}
 }
 
-// spawnServer starts an in-process GRM on a loopback port.
-func spawnServer() (*grm.Server, string, error) {
-	srv := grm.NewServer(core.Config{}, log.New(os.Stderr, "loadgen-grm ", 0))
+// grmServer is the slice of the in-process server both the plain and the
+// sharded GRM satisfy.
+type grmServer interface {
+	Serve(l net.Listener) error
+	Handle(req *grm.Request) *grm.Response
+	Close() error
+}
+
+// spawnServer starts an in-process GRM on a loopback port: the plain
+// single-book server by default, the shard router when shards > 0
+// (ComponentLP keeps per-request plans component-sized against a large
+// registered population). bulk principals are pre-registered with
+// sparse agreement blocks so plans run against a populated book.
+func spawnServer(shards, bulk int, seed int64) (grmServer, string, error) {
+	logger := log.New(os.Stderr, "loadgen-grm ", 0)
+	var srv grmServer
+	if shards > 0 {
+		srv = grm.NewSharded(shards, core.Config{ComponentLP: true}, logger)
+	} else {
+		srv = grm.NewServer(core.Config{}, logger)
+	}
+	if bulk > 0 {
+		if err := populate(srv, bulk, seed); err != nil {
+			srv.Close()
+			return nil, "", err
+		}
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		srv.Close()
 		return nil, "", err
 	}
 	go srv.Serve(l)
 	return srv, l.Addr().String(), nil
+}
+
+// populate bulk-registers principals as subtree names (so a sharded
+// server spreads them across its shards) and chains sparse agreement
+// blocks of eight between consecutive same-subtree principals — the
+// block shape the sparse allocator benches use.
+func populate(srv grmServer, bulk int, seed int64) error {
+	const blockSize = 8
+	rng := rand.New(rand.NewSource(seed))
+	var block []int
+	for k := 0; k < bulk; k++ {
+		resp := srv.Handle(&grm.Request{Register: &grm.RegisterRequest{
+			Name:     fmt.Sprintf("b%d/p%d", k/blockSize, k),
+			Capacity: 1 + rng.Float64()*9,
+		}})
+		if resp.Err != "" {
+			return fmt.Errorf("register bulk principal %d: %s", k, resp.Err)
+		}
+		block = append(block, resp.Register.Principal)
+		if len(block) == blockSize || k == bulk-1 {
+			for j := 0; j+1 < len(block); j++ {
+				resp := srv.Handle(&grm.Request{Share: &grm.ShareRequest{
+					From: block[j], To: block[j+1], Fraction: 0.1 + rng.Float64()*0.3,
+				}})
+				if resp.Err != "" {
+					return fmt.Errorf("share bulk block: %s", resp.Err)
+				}
+			}
+			if len(block) >= 2 {
+				resp := srv.Handle(&grm.Request{Share: &grm.ShareRequest{
+					From: block[len(block)-1], To: block[0], Quantity: 1 + rng.Float64()*3,
+				}})
+				if resp.Err != "" {
+					return fmt.Errorf("share bulk block close: %s", resp.Err)
+				}
+			}
+			block = block[:0]
+		}
+	}
+	return nil
 }
 
 type runConfig struct {
@@ -166,6 +239,8 @@ type result struct {
 	Op          string  `json:"op,omitempty"`
 	Conns       int     `json:"conns"`
 	Depth       int     `json:"depth,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Principals  int     `json:"principals,omitempty"`
 	RTTms       float64 `json:"rtt_ms"`
 	RatePerSec  float64 `json:"offered_rate_per_sec,omitempty"`
 	Arrival     string  `json:"arrival,omitempty"`
@@ -210,6 +285,12 @@ func doOp(w *worker, op string, n int64) error {
 		return l.Ping()
 	case op == "share":
 		return w.churnOp(n)
+	case op == "alloc":
+		reply, err := l.Allocate(0.5)
+		if err != nil {
+			return err
+		}
+		return l.Release(reply.Lease)
 	default:
 		return l.Report(float64(50 + n%32))
 	}
@@ -489,6 +570,7 @@ type benchFile struct {
 	BaselineGob   *result     `json:"baseline_gob"`
 	CurrentBinary *result     `json:"current_binary"`
 	ChurnShare    *result     `json:"churn_share,omitempty"`
+	ShardedPlan   *result     `json:"sharded_plan,omitempty"`
 	Ramp          []result    `json:"ramp,omitempty"`
 	Improvement   improvement `json:"improvement"`
 }
@@ -519,7 +601,7 @@ const codecCostUnit = "one self-contained request+response exchange (report + al
 // codec at the requested depth under the same connection count and
 // simulated RTT, plus the message-level codec benchmark and a binary
 // concurrency ramp.
-func runSuite(path string, cfg runConfig, conns, depth int, logger *log.Logger) error {
+func runSuite(path string, cfg runConfig, conns, depth, shards, bulk int, logger *log.Logger) error {
 	file := &benchFile{
 		Schema: "bench-transport/v1",
 		Note: "gob sections are frozen at the first run on this machine; improvement ratios compare the binary codec against them. " +
@@ -567,6 +649,31 @@ func runSuite(path string, cfg runConfig, conns, depth int, logger *log.Logger) 
 	churnCfg.op = "share"
 	churnRes := runClosed(churnCfg, grm.CodecBinary, conns, depth)
 	file.ChurnShare = &churnRes
+
+	// Sharded allocation: a fresh shard router with a bulk-registered
+	// population, driven by an allocate+release mix — the end-to-end cost
+	// of routing, per-shard journaling, and a ComponentLP plan against a
+	// large book. -shards and -principals resize it; the defaults keep the
+	// suite fast on one core.
+	if shards <= 0 {
+		shards = 4
+	}
+	if bulk <= 0 {
+		bulk = 2000
+	}
+	logger.Printf("measuring sharded plan (binary, %d shards, %d principals, %d conns, depth %d)...", shards, bulk, conns, depth)
+	shSrv, shAddr, err := spawnServer(shards, bulk, cfg.seed)
+	if err != nil {
+		return err
+	}
+	shCfg := cfg
+	shCfg.addr = shAddr
+	shCfg.op = "alloc"
+	shRes := runClosed(shCfg, grm.CodecBinary, conns, depth)
+	shRes.Shards = shards
+	shRes.Principals = bulk
+	file.ShardedPlan = &shRes
+	shSrv.Close()
 
 	for _, c := range []int{1, 2, conns} {
 		if c > conns {

@@ -2,6 +2,8 @@ package agreement
 
 import (
 	"fmt"
+
+	"repro/internal/num"
 )
 
 // Matrices is the principal-level view of one resource type that the
@@ -33,13 +35,30 @@ type Matrices struct {
 //
 // Virtual currencies must form a DAG; a backing cycle through virtual
 // currencies yields ErrVirtualCycle.
+//
+// Matrices is the dense export of SparseMatrices — the sparse build is
+// the primary path, and both accumulate identical per-cell contribution
+// sequences, so the two views are bit-identical.
 func (s *System) Matrices(typ ResourceType) (*Matrices, error) {
-	n := len(s.principals)
-	m := &Matrices{Type: typ, V: make([]float64, n), S: make([][]float64, n), A: make([][]float64, n)}
-	for i := 0; i < n; i++ {
-		m.S[i] = make([]float64, n)
-		m.A[i] = make([]float64, n)
+	sm, err := s.SparseMatrices(typ)
+	if err != nil {
+		return nil, err
 	}
+	return sm.Dense(), nil
+}
+
+// SparseMatrices collapses the currency/ticket graph for one resource
+// type into the paper's principal-level model in CSR form. It performs
+// the same collapse as Matrices (which is now a wrapper) without ever
+// allocating the dense n×n S/A arrays: per-cell contributions accumulate
+// in ticket order into a SparseBuilder, and the per-currency flow
+// vectors skip principals with no flow (adding frac·0 to a non-negative
+// accumulator cannot change its bits, so skipping is exact).
+func (s *System) SparseMatrices(typ ResourceType) (*SparseMatrices, error) {
+	n := len(s.principals)
+	m := &SparseMatrices{Type: typ, V: make([]float64, n)}
+	sb := NewSparseBuilder(n)
+	ab := NewSparseBuilder(n)
 
 	// Capacities, adjusted by granting agreements below.
 	for _, r := range s.resources {
@@ -111,15 +130,20 @@ func (s *System) Matrices(typ ResourceType) (*Matrices, error) {
 			frac := t.Face / iss.FaceValue
 			if iss.Kind == Default {
 				if int(iss.Owner) != j {
-					m.S[iss.Owner][j] += frac
+					sb.Add(int(iss.Owner), j, frac)
 				}
 			} else {
+				rel, abs := relIn[iss.ID], absIn[iss.ID]
 				for p := 0; p < n; p++ {
 					if p == j {
 						continue
 					}
-					m.S[p][j] += frac * relIn[iss.ID][p]
-					m.A[p][j] += frac * absIn[iss.ID][p]
+					if !num.IsZero(rel[p]) {
+						sb.Add(p, j, frac*rel[p])
+					}
+					if !num.IsZero(abs[p]) {
+						ab.Add(p, j, frac*abs[p])
+					}
 				}
 			}
 		case Absolute:
@@ -132,7 +156,7 @@ func (s *System) Matrices(typ ResourceType) (*Matrices, error) {
 				m.V[j] += t.Face
 			default:
 				if int(iss.Owner) != j {
-					m.A[iss.Owner][j] += t.Face
+					ab.Add(int(iss.Owner), j, t.Face)
 				}
 			}
 		}
@@ -144,6 +168,7 @@ func (s *System) Matrices(typ ResourceType) (*Matrices, error) {
 				s.principals[i].Name, m.V[i], typ)
 		}
 	}
+	m.S, m.A = sb.Build(), ab.Build()
 	return m, nil
 }
 

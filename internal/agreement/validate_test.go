@@ -1,9 +1,11 @@
 package agreement
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // base returns a minimal valid snapshot the table cases mutate.
@@ -230,5 +232,87 @@ func TestValidateInvalidSnapshots(t *testing.T) {
 		if len(withRule(findings, rule)) == 0 {
 			t.Errorf("%s: no %q finding in %v", path, rule, findings)
 		}
+	}
+}
+
+// largeSparseSnapshot builds a snapshot at the sharded-tree scale: n
+// principals in blocks of 8, each block a chain of relative shares with
+// an absolute edge closing it, one resource per principal. The agreement
+// count is O(n) — the sparse shape Validate must handle without ever
+// materializing an n×n view.
+func largeSparseSnapshot(n int) *Snapshot {
+	const block = 8
+	snap := &Snapshot{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		snap.Principals = append(snap.Principals, PrincipalSnapshot{Name: name})
+		snap.Resources = append(snap.Resources, ResourceSnapshot{
+			Name: name + "/cpu", Type: "cpu", Owner: name, Capacity: 4,
+		})
+	}
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		for j := start; j+1 < end; j++ {
+			snap.Agreements = append(snap.Agreements, AgreementSnapshot{
+				From: fmt.Sprintf("p%d", j), To: fmt.Sprintf("p%d", j+1), Fraction: 0.25,
+			})
+		}
+		if end-start >= 2 {
+			snap.Agreements = append(snap.Agreements, AgreementSnapshot{
+				From: fmt.Sprintf("p%d", end-1), To: fmt.Sprintf("p%d", start),
+				Quantity: 2, Type: "cpu",
+			})
+		}
+	}
+	return snap
+}
+
+// TestValidateLargeSparseSnapshot lints a 100k-principal sparse snapshot
+// — the population the tree-cluster scale test registers — and then
+// injects one violation of each aggregate rule to prove the checks still
+// see individual rows at that size. The block closure is a cycle by
+// construction, so the expected clean result is exactly one cycle
+// warning and nothing else.
+func TestValidateLargeSparseSnapshot(t *testing.T) {
+	const n = 100_000
+	snap := largeSparseSnapshot(n)
+	start := time.Now()
+	findings := snap.Validate()
+	elapsed := time.Since(start)
+	t.Logf("validated %d principals, %d agreements in %v", n, len(snap.Agreements), elapsed)
+	if HasErrors(findings) {
+		t.Fatalf("large sparse snapshot should have no errors, got %v", findings[:min(len(findings), 5)])
+	}
+	for _, f := range findings {
+		if f.Rule != "cycle" {
+			t.Fatalf("unexpected non-cycle finding: %v", f)
+		}
+	}
+	if elapsed > 2*time.Minute {
+		t.Fatalf("Validate took %v on a sparse 100k snapshot; it must stay near-linear", elapsed)
+	}
+
+	// One row deep in the population overcommits its relative shares
+	// (p99985 is mid-chain, so it already issues a 0.25 fraction).
+	over := *snap
+	over.Agreements = append(append([]AgreementSnapshot(nil), snap.Agreements...), AgreementSnapshot{
+		From: "p99985", To: "p99984", Fraction: 0.9,
+	})
+	findings = over.Validate()
+	if !HasErrors(findings) || len(withRule(findings, "row-sum")) == 0 {
+		t.Fatalf("overcommitted row at 100k scale not caught: %v", findings)
+	}
+
+	// One issuer overshares its declared capacity absolutely.
+	abs := *snap
+	abs.Agreements = append(append([]AgreementSnapshot(nil), snap.Agreements...), AgreementSnapshot{
+		From: "p99983", To: "p99980", Quantity: 3, Type: "cpu",
+	})
+	findings = abs.Validate()
+	if !HasErrors(findings) || len(withRule(findings, "absolute-cap")) == 0 {
+		t.Fatalf("absolute overshare at 100k scale not caught: %v", findings)
 	}
 }

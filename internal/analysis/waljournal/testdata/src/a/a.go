@@ -92,3 +92,28 @@ func (s *Server) touchSeq() { s.seq = 0 }
 
 // reader never writes: clean.
 func (s *Server) reader() float64 { return s.avail[0] }
+
+// Router fronts per-shard Servers: their durable state is journaled by
+// each shard's own WAL, so router fields carry the wal:sharded marker —
+// rebinding them needs a *Locked helper but no appendLocked of its own.
+type Router struct {
+	mu     sync.Mutex
+	shards []*Server // wal:sharded
+	logs   []int     // per-shard log handles; wal:sharded
+}
+
+// attachLocked rebinds the per-shard logs under the router mutex: clean,
+// no appendLocked reachability required.
+func (r *Router) attachLocked(logs []int) {
+	r.logs = logs
+	r.shards[0] = nil
+}
+
+// swap rebinds a shard outside any *Locked helper.
+func (r *Router) swap(s *Server) {
+	r.shards[1] = s // want `swap writes sharded field Router\.shards outside a \*Locked helper`
+	r.logs = nil    // want `swap writes sharded field Router\.logs outside a \*Locked helper`
+}
+
+// route only reads the shard table: clean.
+func (r *Router) route(i int) *Server { return r.shards[i] }

@@ -22,6 +22,14 @@
 // *Locked suffix for them while exempting them from the appendLocked
 // reachability rule.
 //
+// Fields marked "wal:sharded" are the third class, introduced with the
+// sharded GRM: a router field holding per-shard sub-servers (or their
+// logs). The durable state behind such a field is journaled by each
+// shard's own WAL — the shard's appendLocked, not the router's — so the
+// router has no append point to reach. Rebinding the field (swapping a
+// shard, attaching logs) still races the request routers, so every write
+// must sit in a *Locked helper, exactly like wal:derived.
+//
 // Writes are assignments, ++/--, and the delete/copy builtins whose
 // target expression passes through a journaled field ("s.avail[i] = x",
 // "s.sys.Epoch++", "delete(s.leases, tok)" all count). Writes inside
@@ -53,12 +61,14 @@ var Analyzer = &analysis.Analyzer{
 const (
 	marker        = "wal:journaled"
 	derivedMarker = "wal:derived"
+	shardedMarker = "wal:sharded"
 )
 
 func run(pass *analysis.Pass) error {
 	journaled := collectMarked(pass, marker)
 	derived := collectMarked(pass, derivedMarker)
-	if len(journaled) == 0 && len(derived) == 0 {
+	sharded := collectMarked(pass, shardedMarker)
+	if len(journaled) == 0 && len(derived) == 0 && len(sharded) == 0 {
 		return nil
 	}
 	cg := pass.CallGraph()
@@ -108,12 +118,26 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(pos, "%s writes derived field %s outside a *Locked helper; state derived from the journal must be rebuilt under the state mutex", f.Name(), field)
 			}
 		}
+		// Sharded fields route to per-shard servers that journal through
+		// their own WALs; the router only needs the mutex serialization.
+		reportSharded := func(pos token.Pos, field string) {
+			if seen[field] {
+				return
+			}
+			seen[field] = true
+			if !strings.HasSuffix(f.Name(), "Locked") {
+				pass.Reportf(pos, "%s writes sharded field %s outside a *Locked helper; per-shard WAL state must be rebound under the router mutex", f.Name(), field)
+			}
+		}
 		checkTarget := func(e ast.Expr) {
 			if field := journaledTarget(pass.TypesInfo, journaled, e); field != "" {
 				report(e.Pos(), field)
 			}
 			if field := journaledTarget(pass.TypesInfo, derived, e); field != "" {
 				reportDerived(e.Pos(), field)
+			}
+			if field := journaledTarget(pass.TypesInfo, sharded, e); field != "" {
+				reportSharded(e.Pos(), field)
 			}
 		}
 		ast.Inspect(decl.Body, func(n ast.Node) bool {

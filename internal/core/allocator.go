@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
+	"repro/internal/agreement"
 	"repro/internal/lp"
 	"repro/internal/transitive"
 
@@ -72,6 +74,21 @@ type Config struct {
 	// byte-identical state must leave it off. Only effective with the
 	// tableau method (lp.Tableau); other methods always solve cold.
 	WarmStart bool
+	// ComponentLP restricts each plan skeleton to the requester's
+	// agreement component: only the V'_i a plan can actually move — the
+	// requester and its sparse source column — become LP variables, and
+	// only the perturb rows one of those sources feeds stay in the model.
+	// Every other V'_k is pinned to v_k by its bounds in the full
+	// formulation (its U toward the requester is exactly zero), so its
+	// terms fold into the right-hand sides at solve time: the feasible
+	// set and the optimum value are unchanged, but the tableau shrinks
+	// from O(n²) cells to the agreement neighborhood. The pivot sequence
+	// differs from the full model's, so on degenerate ties the realized
+	// take vector may be a different (equally optimal) vertex — off by
+	// default; the sharded GRM tree turns it on to make allocation cost
+	// scale with agreement density instead of population. Ignored by the
+	// Faithful formulation.
+	ComponentLP bool
 }
 
 // fullLevel is the Level sentinel requesting full transitivity: any
@@ -94,19 +111,30 @@ const exactBudget = 50_000_000
 // concurrent use: the lazily built LP skeletons and the pooled plan
 // workspaces are internally synchronized.
 type Allocator struct {
-	n   int
-	s   [][]float64 // relative agreements (kept for reporting)
-	a   [][]float64 // absolute agreements (may be nil)
-	k   [][]float64 // capped flow coefficients K^(level)
-	cfg Config
+	n int
+	// aCols/aVals hold the absolute agreement matrix A in row-sparse form
+	// (ascending columns, values aligned); hasA records whether an A was
+	// supplied at all — an explicitly passed all-zero matrix still counts,
+	// preserving the historical `a != nil` behavior (e.g. the Faithful
+	// refusal). The relative matrix S lives inside clo's CSR rows; neither
+	// dense n×n array is materialized.
+	aCols [][]int32
+	aVals [][]float64
+	hasA  bool
+	k     [][]float64 // capped flow coefficients K^(level)
+	cfg   Config
 	// conn[i] is a connectivity weight used for deterministic
 	// tie-breaking: how much of i's capacity other principals can reach.
 	conn []float64
 	// colIdx[i] lists the sources k≠i with a nonzero flow into i
 	// (K_ki ≠ 0 or A_ki ≠ 0), in ascending order. Capacity sums walk
 	// this index instead of scanning the dense column; the skipped terms
-	// are exactly zero, so the result is bit-identical.
+	// are exactly zero, so the result is bit-identical. colK/colA carry
+	// the matching K_ki and A_ki values so the hot path never needs a
+	// dense random access.
 	colIdx [][]int32
+	colK   [][]float64
+	colA   [][]float64
 	// skel[r] caches the LP skeleton for requester r: the constraint
 	// coefficients depend only on K and the sparsity pattern of A, so per
 	// Plan call only the variable bounds and right-hand sides are rebound.
@@ -141,6 +169,20 @@ type planSkeleton struct {
 	// sparsity pattern, never its values — SetAgreement value changes
 	// share every skeleton.
 	capFlowRows []capFlowRef
+	// Component restriction (cfg.ComponentLP). vars lists the live
+	// principals in ascending order — variable x of the model is
+	// V'_vars[x]; varOf is the inverse (-1 for principals folded into
+	// the right-hand sides); compRows lists the kept perturb rows. nil
+	// vars means the skeleton is the full formulation.
+	vars     []int32
+	varOf    []int32
+	compRows []compRow
+}
+
+// compRow locates one kept perturb row of a component skeleton.
+type compRow struct {
+	row int
+	i   int32
 }
 
 // capFlowRef locates one cap_flow_k_i row for per-solve RHS rebinding.
@@ -164,12 +206,16 @@ type planWS struct {
 // NewAllocator builds an allocator from a relative agreement matrix S and
 // an optional absolute agreement matrix A (nil for none). The transitive
 // flow coefficients are computed once here — they depend only on S and the
-// level, not on the fluctuating capacities.
+// level, not on the fluctuating capacities. The dense inputs are converted
+// to the allocator's row-sparse form; NewAllocatorSparse skips the dense
+// detour entirely.
 func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) {
 	if err := transitive.Validate(s); err != nil {
 		return nil, err
 	}
 	n := len(s)
+	aCols := make([][]int32, n)
+	aVals := make([][]float64, n)
 	if a != nil {
 		if len(a) != n {
 			return nil, fmt.Errorf("core: A is %d×?, S is %d×%d", len(a), n, n)
@@ -182,20 +228,79 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 				if x < 0 {
 					return nil, fmt.Errorf("core: A[%d][%d] = %g, must be non-negative", i, j, x)
 				}
+				if !num.IsZero(x) {
+					aCols[i] = append(aCols[i], int32(j))
+					aVals[i] = append(aVals[i], x)
+				}
 			}
 		}
 	}
-	level := cfg.Level
-	if level <= 0 {
-		// The sentinel keeps requesting the complete closure even if the
-		// allocator later grows (clamping is redone per current n).
-		level = fullLevel
-	}
+	level := effectiveLevel(cfg)
 	if !cfg.Approx && !transitive.WithinBudget(s, level, exactBudget) {
 		return nil, fmt.Errorf("core: exact transitive closure would exceed %d steps for this agreement graph; set Config.Approx or lower Config.Level", exactBudget)
 	}
-	al := &Allocator{n: n, s: s, a: a, cfg: cfg, conn: make([]float64, n)}
-	al.clo = transitive.NewClosure(s, level, cfg.Approx).WithBudget(exactBudget)
+	clo := transitive.NewClosure(s, level, cfg.Approx).WithBudget(exactBudget)
+	return finishAllocator(n, clo, aCols, aVals, a != nil, cfg), nil
+}
+
+// NewAllocatorSparse builds an allocator straight from CSR agreement
+// matrices (the agreement.SparseMatrices form) without materializing any
+// dense n×n array: S's rows seed the incremental closure directly and A
+// is stored row-sparse. a may be nil. The result is bit-identical to
+// NewAllocator over the dense exports — the sparse kernels read the same
+// floats in the same order.
+func NewAllocatorSparse(s *agreement.SparseMatrix, a *agreement.SparseMatrix, cfg Config) (*Allocator, error) {
+	n := s.N()
+	sCols := make([][]int32, n)
+	sVals := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		sCols[i], sVals[i] = s.Row(i)
+		for k, j := range sCols[i] {
+			if int(j) == i {
+				return nil, fmt.Errorf("core: S[%d][%d] = %g, diagonal must be zero", i, i, sVals[i][k])
+			}
+			if sVals[i][k] < 0 {
+				return nil, fmt.Errorf("core: S[%d][%d] = %g, entries must be non-negative", i, j, sVals[i][k])
+			}
+		}
+	}
+	aCols := make([][]int32, n)
+	aVals := make([][]float64, n)
+	if a != nil {
+		if a.N() != n {
+			return nil, fmt.Errorf("core: A is %d×%d, S is %d×%d", a.N(), a.N(), n, n)
+		}
+		for i := 0; i < n; i++ {
+			aCols[i], aVals[i] = a.Row(i)
+			for k, j := range aCols[i] {
+				if aVals[i][k] < 0 {
+					return nil, fmt.Errorf("core: A[%d][%d] = %g, must be non-negative", i, j, aVals[i][k])
+				}
+			}
+		}
+	}
+	level := effectiveLevel(cfg)
+	if !cfg.Approx && !transitive.WithinBudgetCSR(n, sCols, sVals, level, exactBudget) {
+		return nil, fmt.Errorf("core: exact transitive closure would exceed %d steps for this agreement graph; set Config.Approx or lower Config.Level", exactBudget)
+	}
+	clo := transitive.NewClosureCSR(n, sCols, sVals, level, cfg.Approx).WithBudget(exactBudget)
+	return finishAllocator(n, clo, aCols, aVals, a != nil, cfg), nil
+}
+
+// effectiveLevel resolves Config.Level: non-positive requests the
+// complete closure via the fullLevel sentinel (clamping is redone per
+// current n as the allocator grows).
+func effectiveLevel(cfg Config) int {
+	if cfg.Level <= 0 {
+		return fullLevel
+	}
+	return cfg.Level
+}
+
+// finishAllocator builds the derived caches shared by both constructors.
+func finishAllocator(n int, clo *transitive.Closure, aCols [][]int32, aVals [][]float64, hasA bool, cfg Config) *Allocator {
+	al := &Allocator{n: n, aCols: aCols, aVals: aVals, hasA: hasA, cfg: cfg, conn: make([]float64, n)}
+	al.clo = clo
 	k := transitive.Cap(al.clo.T())
 	al.k = k
 	for i := 0; i < n; i++ {
@@ -206,8 +311,10 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 		}
 	}
 	al.colIdx = make([][]int32, n)
+	al.colK = make([][]float64, n)
+	al.colA = make([][]float64, n)
 	for i := 0; i < n; i++ {
-		al.colIdx[i] = al.colIdxFor(i)
+		al.colIdx[i], al.colK[i], al.colA[i] = al.colIdxFor(i)
 	}
 	al.skel = make([]*planSkeleton, n)
 	for i := range al.skel {
@@ -218,22 +325,55 @@ func NewAllocator(s [][]float64, a [][]float64, cfg Config) (*Allocator, error) 
 		al.warm[i] = &warmSlot{}
 	}
 	al.initPool()
-	return al, nil
+	return al
 }
 
-// colIdxFor computes the sparse column index for principal i: the
-// sources kk ≠ i with a nonzero flow into i, ascending.
-func (al *Allocator) colIdxFor(i int) []int32 {
+// aAt returns A[k][i] — a binary search over row k's sparse columns, 0
+// when unstored.
+func (al *Allocator) aAt(k, i int) float64 {
+	cols := al.aCols[k]
+	x := sort.Search(len(cols), func(x int) bool { return cols[x] >= int32(i) })
+	if x < len(cols) && cols[x] == int32(i) {
+		return al.aVals[k][x]
+	}
+	return 0
+}
+
+// denseA materializes A as dense rows, nil when no absolute matrix was
+// ever supplied — the shape transitive.Capacities and the baseline
+// planners expect.
+func (al *Allocator) denseA() [][]float64 {
+	if !al.hasA {
+		return nil
+	}
+	out := make([][]float64, al.n)
+	for i := range out {
+		out[i] = make([]float64, al.n)
+		for idx, j := range al.aCols[i] {
+			out[i][j] = al.aVals[i][idx]
+		}
+	}
+	return out
+}
+
+// colIdxFor computes the sparse column index for principal i — the
+// sources kk ≠ i with a nonzero flow into i, ascending — plus the
+// aligned K_ki and A_ki value lists.
+func (al *Allocator) colIdxFor(i int) ([]int32, []float64, []float64) {
 	var out []int32
+	var ks, as []float64
 	for kk := 0; kk < al.n; kk++ {
 		if kk == i {
 			continue
 		}
-		if !num.IsZero(al.k[kk][i]) || (al.a != nil && !num.IsZero(al.a[kk][i])) {
+		av := al.aAt(kk, i)
+		if !num.IsZero(al.k[kk][i]) || !num.IsZero(av) {
 			out = append(out, int32(kk))
+			ks = append(ks, al.k[kk][i])
+			as = append(as, av)
 		}
 	}
-	return out
+	return out, ks, as
 }
 
 // initPool (re)binds the plan-workspace pool; every Allocator — built or
@@ -267,7 +407,9 @@ func (al *Allocator) FlowCoefficients() [][]float64 {
 // Capacities returns C_i = V_i + Σ_k U_ki for the current availability.
 func (al *Allocator) Capacities(v []float64) []float64 {
 	al.checkV(v)
-	return transitive.Capacities(v, al.k, al.a)
+	out := make([]float64, al.n)
+	al.capsInto(out, v)
+	return out
 }
 
 // sourceCap returns U_iA: how much of principal i's current availability
@@ -283,8 +425,8 @@ func (al *Allocator) sourceCap(v []float64, i, requester int) float64 {
 // operation order of transitive.Capacities.
 func (al *Allocator) uFlow(v []float64, k, i int) float64 {
 	u := v[k] * al.k[k][i]
-	if al.a != nil {
-		u += al.a[k][i]
+	if al.hasA {
+		u += al.aAt(k, i)
 	}
 	if u > v[k] {
 		u = v[k]
@@ -293,14 +435,23 @@ func (al *Allocator) uFlow(v []float64, k, i int) float64 {
 }
 
 // capsInto computes C_i = V_i + Σ_{k≠i} U_ki into dst, walking the
-// precomputed sparse column index. Sources skipped by the index have
-// K_ki = 0 and A_ki = 0, so their U_ki is exactly zero and the sum is
-// bit-identical to the dense transitive.Capacities scan.
+// precomputed sparse column index with its aligned K/A value lists.
+// Sources skipped by the index have K_ki = 0 and A_ki = 0, so their U_ki
+// is exactly zero and the sum is bit-identical to the dense
+// transitive.Capacities scan.
 func (al *Allocator) capsInto(dst, v []float64) {
 	for i := 0; i < al.n; i++ {
 		c := v[i]
-		for _, k := range al.colIdx[i] {
-			c += al.uFlow(v, int(k), i)
+		idx, ks, as := al.colIdx[i], al.colK[i], al.colA[i]
+		for x, k := range idx {
+			u := v[k] * ks[x]
+			if al.hasA {
+				u += as[x]
+			}
+			if u > v[k] {
+				u = v[k]
+			}
+			c += u
 		}
 		dst[i] = c
 	}
@@ -346,10 +497,24 @@ func (al *Allocator) planInto(out *Allocation, v []float64, requester int, amoun
 		return nil
 	}
 	// The requester's U column, computed once: it bounds V'_i from below
-	// in the LP and caps each source's take during normalization.
-	for i := 0; i < al.n; i++ {
-		ws.uCol[i] = al.sourceCap(v, i, requester)
+	// in the LP and caps each source's take during normalization. Sources
+	// outside colIdx[requester] have K = A = 0, so their U is exactly 0 —
+	// zero-filling and walking the sparse column matches the dense scan.
+	for i := range ws.uCol {
+		ws.uCol[i] = 0
 	}
+	uIdx, uKs, uAs := al.colIdx[requester], al.colK[requester], al.colA[requester]
+	for x, k := range uIdx {
+		u := v[k] * uKs[x]
+		if al.hasA {
+			u += uAs[x]
+		}
+		if u > v[k] {
+			u = v[k]
+		}
+		ws.uCol[k] = u
+	}
+	ws.uCol[requester] = v[requester]
 	if al.cfg.Faithful {
 		return al.planFaithful(out, v, requester, amount, ws)
 	}
@@ -361,6 +526,10 @@ func (al *Allocator) planInto(out *Allocation, v []float64, requester int, amoun
 // order matches the historical per-call construction exactly, so solves
 // over a rebound skeleton pivot identically.
 func (al *Allocator) buildSkeleton(sk *planSkeleton, requester int) {
+	if al.cfg.ComponentLP && !al.cfg.Faithful {
+		al.buildComponentSkeleton(sk, requester)
+		return
+	}
 	n := al.n
 	m := lp.NewModel(lp.Minimize)
 
@@ -395,21 +564,22 @@ func (al *Allocator) buildSkeleton(sk *planSkeleton, requester int) {
 			continue
 		}
 		terms := []lp.Term{{Var: vp[i], Coeff: 1}, {Var: theta, Coeff: 1}}
-		for k := 0; k < n; k++ {
-			if k == i {
-				continue
-			}
-			hasAbs := al.a != nil && al.a[k][i] > 0
+		// Walk the sparse column: colIdx lists exactly the k ≠ i with
+		// K_ki ≠ 0 or A_ki ≠ 0, ascending — the same sources the dense
+		// k-loop would admit, in the same order.
+		idx, ks, as := al.colIdx[i], al.colK[i], al.colA[i]
+		for x, k := range idx {
+			hasAbs := al.hasA && as[x] > 0
 			if !hasAbs {
-				if !num.IsZero(al.k[k][i]) {
-					terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][i]})
+				if !num.IsZero(ks[x]) {
+					terms = append(terms, lp.Term{Var: vp[k], Coeff: ks[x]})
 				}
 				continue
 			}
 			u := m.AddVar(fmt.Sprintf("u_%d_%d", k, i), 0, lp.Inf, 0)
 			cfRow := m.AddConstraint(fmt.Sprintf("cap_flow_%d_%d", k, i),
-				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -al.k[k][i]}}, lp.LE, al.a[k][i])
-			sk.capFlowRows = append(sk.capFlowRows, capFlowRef{row: cfRow, k: int32(k), i: int32(i)})
+				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -ks[x]}}, lp.LE, as[x])
+			sk.capFlowRows = append(sk.capFlowRows, capFlowRef{row: cfRow, k: k, i: int32(i)})
 			m.AddConstraint(fmt.Sprintf("cap_own_%d_%d", k, i),
 				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[k], Coeff: -1}}, lp.LE, 0)
 			terms = append(terms, lp.Term{Var: u, Coeff: 1})
@@ -420,17 +590,188 @@ func (al *Allocator) buildSkeleton(sk *planSkeleton, requester int) {
 	if al.cfg.KeepRequesterConstraint {
 		// eq. 3: C'_A = C_A − x, expressed on the same linearization.
 		terms := []lp.Term{{Var: vp[requester], Coeff: 1}}
-		for k := 0; k < n; k++ {
-			if k == requester {
-				continue
-			}
-			if !num.IsZero(al.k[k][requester]) {
-				terms = append(terms, lp.Term{Var: vp[k], Coeff: al.k[k][requester]})
+		idx, ks := al.colIdx[requester], al.colK[requester]
+		for x, k := range idx {
+			if !num.IsZero(ks[x]) {
+				terms = append(terms, lp.Term{Var: vp[k], Coeff: ks[x]})
 			}
 		}
 		sk.dropRow = m.AddConstraint("requester_drop", terms, lp.GE, 0)
 	}
 	sk.model = m
+}
+
+// buildComponentSkeleton is buildSkeleton under cfg.ComponentLP. In the
+// full formulation every V'_k outside colIdx[requester] ∪ {requester}
+// is pinned by its bounds (lo = v_k − U_k,req = v_k = up, because its U
+// toward the requester is exactly zero), so those variables and every
+// perturb row none of the live variables feeds are constants: folding
+// them into the right-hand sides leaves the feasible set and the
+// optimum value unchanged while the tableau shrinks to the agreement
+// neighborhood. Fold values are recomputed from the column triples on
+// every solve, so agreement-value rebinds stay as fresh as the full
+// path's capFlowRows rebinding.
+func (al *Allocator) buildComponentSkeleton(sk *planSkeleton, requester int) {
+	n := al.n
+	// Live variables: the requester merged into its ascending source
+	// column.
+	sk.varOf = make([]int32, n)
+	for i := range sk.varOf {
+		sk.varOf[i] = -1
+	}
+	live := make([]int32, 0, len(al.colIdx[requester])+1)
+	merged := false
+	for _, k := range al.colIdx[requester] {
+		if !merged && int(k) > requester {
+			live = append(live, int32(requester))
+			merged = true
+		}
+		live = append(live, k)
+	}
+	if !merged {
+		live = append(live, int32(requester))
+	}
+	sk.vars = live
+	for x, i := range live {
+		sk.varOf[i] = int32(x)
+	}
+
+	m := lp.NewModel(lp.Minimize)
+	const eps = 1e-6
+	vp := make([]lp.VarID, len(live))
+	for x, i := range live {
+		vp[x] = m.AddVar(fmt.Sprintf("V'_%d", i), 0, 0, -eps*al.conn[i])
+	}
+	theta := m.AddVar("theta", 0, lp.Inf, 1)
+
+	// Σ_{live} V'_i = Σ_{live} V_i − amount (eq. 5 with the pinned
+	// variables cancelled from both sides).
+	sumTerms := make([]lp.Term, len(live))
+	for x := range live {
+		sumTerms[x] = lp.Term{Var: vp[x], Coeff: 1}
+	}
+	sk.consumeRow = m.AddConstraint("consume", sumTerms, lp.EQ, 0)
+
+	// A perturb row survives only if a live variable appears in it: its
+	// own V' is live, or a live source feeds it. Everything else is a
+	// constant inequality any θ ≥ 0 already satisfies.
+	touched := make([]bool, n)
+	for _, k := range live {
+		touched[k] = true
+		for j, kv := range al.k[k] {
+			if j != int(k) && !num.IsZero(kv) {
+				touched[j] = true
+			}
+		}
+		if al.hasA {
+			for x, j := range al.aCols[k] {
+				if j != k && al.aVals[k][x] > 0 {
+					touched[j] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !touched[i] || (i == requester && !al.cfg.KeepRequesterConstraint) {
+			continue
+		}
+		var terms []lp.Term
+		if x := sk.varOf[i]; x >= 0 {
+			terms = append(terms, lp.Term{Var: vp[x], Coeff: 1})
+		}
+		terms = append(terms, lp.Term{Var: theta, Coeff: 1})
+		idx, ks, as := al.colIdx[i], al.colK[i], al.colA[i]
+		for x, k := range idx {
+			if sk.varOf[k] < 0 {
+				continue // pinned source: folded into the RHS per solve
+			}
+			hasAbs := al.hasA && as[x] > 0
+			if !hasAbs {
+				if !num.IsZero(ks[x]) {
+					terms = append(terms, lp.Term{Var: vp[sk.varOf[k]], Coeff: ks[x]})
+				}
+				continue
+			}
+			u := m.AddVar(fmt.Sprintf("u_%d_%d", k, i), 0, lp.Inf, 0)
+			cfRow := m.AddConstraint(fmt.Sprintf("cap_flow_%d_%d", k, i),
+				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[sk.varOf[k]], Coeff: -ks[x]}}, lp.LE, as[x])
+			sk.capFlowRows = append(sk.capFlowRows, capFlowRef{row: cfRow, k: k, i: int32(i)})
+			m.AddConstraint(fmt.Sprintf("cap_own_%d_%d", k, i),
+				[]lp.Term{{Var: u, Coeff: 1}, {Var: vp[sk.varOf[k]], Coeff: -1}}, lp.LE, 0)
+			terms = append(terms, lp.Term{Var: u, Coeff: 1})
+		}
+		sk.compRows = append(sk.compRows, compRow{
+			row: m.AddConstraint(fmt.Sprintf("perturb_%d", i), terms, lp.GE, 0),
+			i:   int32(i),
+		})
+	}
+	sk.dropRow = -1
+	if al.cfg.KeepRequesterConstraint {
+		// eq. 3 references only the requester's own column — all live.
+		terms := []lp.Term{{Var: vp[sk.varOf[requester]], Coeff: 1}}
+		idx, ks := al.colIdx[requester], al.colK[requester]
+		for x, k := range idx {
+			if !num.IsZero(ks[x]) {
+				terms = append(terms, lp.Term{Var: vp[sk.varOf[k]], Coeff: ks[x]})
+			}
+		}
+		sk.dropRow = m.AddConstraint("requester_drop", terms, lp.GE, 0)
+	}
+	sk.model = m
+}
+
+// rebindComponent is planSubstituted's per-solve rebinding for a
+// component skeleton: bounds and the consume row cover only the live
+// variables, and every kept perturb row's RHS re-folds its pinned
+// sources' contributions from the current column triples (so agreement
+// value changes are as fresh here as capFlowRows rebinding makes them
+// on the full path).
+func (al *Allocator) rebindComponent(m *lp.Model, sk *planSkeleton, v []float64, requester int, amount float64, ws *planWS) {
+	var sumLive float64
+	for x, i := range sk.vars {
+		lo := v[i] - ws.uCol[i]
+		if lo < 0 {
+			lo = 0
+		}
+		m.SetBounds(lp.VarID(x), lo, v[i])
+		sumLive += v[i]
+	}
+	m.SetRHS(sk.consumeRow, sumLive-amount)
+	for _, pr := range sk.compRows {
+		i := int(pr.i)
+		rhs := ws.caps[i]
+		if sk.varOf[i] < 0 {
+			rhs -= v[i] // pinned self term
+		}
+		idx, ks, as := al.colIdx[i], al.colK[i], al.colA[i]
+		for x, k := range idx {
+			if sk.varOf[k] >= 0 {
+				continue // live: its terms are in the model
+			}
+			hasAbs := al.hasA && as[x] > 0
+			if !hasAbs {
+				if !num.IsZero(ks[x]) {
+					rhs -= ks[x] * v[k]
+				}
+				continue
+			}
+			// The pinned flow takes its LP maximum min(v_k·K + A, v_k):
+			// u_ki appears only positively in this ≥ row, so any optimum
+			// admits it at its cap.
+			u := v[k]*ks[x] + as[x]
+			if u > v[k] {
+				u = v[k]
+			}
+			rhs -= u
+		}
+		m.SetRHS(pr.row, rhs)
+	}
+	if sk.dropRow >= 0 {
+		m.SetRHS(sk.dropRow, ws.caps[requester]-amount)
+	}
+	for _, cf := range sk.capFlowRows {
+		m.SetRHS(cf.row, al.aAt(int(cf.k), int(cf.i)))
+	}
 }
 
 // skeleton returns requester's LP skeleton, building it on first use.
@@ -452,39 +793,43 @@ func (al *Allocator) planSubstituted(out *Allocation, v []float64, requester int
 		ws.clones[requester] = m
 	}
 
-	for i := 0; i < n; i++ {
-		lo := v[i] - ws.uCol[i]
-		if lo < 0 {
-			lo = 0
+	if sk.vars != nil {
+		al.rebindComponent(m, sk, v, requester, amount, ws)
+	} else {
+		for i := 0; i < n; i++ {
+			lo := v[i] - ws.uCol[i]
+			if lo < 0 {
+				lo = 0
+			}
+			m.SetBounds(lp.VarID(i), lo, v[i])
 		}
-		m.SetBounds(lp.VarID(i), lo, v[i])
-	}
-	var totalV float64
-	for i := 0; i < n; i++ {
-		totalV += v[i]
-	}
-	m.SetRHS(sk.consumeRow, totalV-amount)
-	for i := 0; i < n; i++ {
-		if r := sk.perturbRow[i]; r >= 0 {
-			m.SetRHS(r, ws.caps[i])
+		var totalV float64
+		for i := 0; i < n; i++ {
+			totalV += v[i]
 		}
-	}
-	if sk.dropRow >= 0 {
-		m.SetRHS(sk.dropRow, ws.caps[requester]-amount)
-	}
-	// cap_flow right-hand sides carry the current A values; rebinding them
-	// per solve (same value the skeleton baked at build time, unless a
-	// SetAgreement mutation moved it) is what lets skeletons survive
-	// absolute-agreement value changes.
-	for _, cf := range sk.capFlowRows {
-		m.SetRHS(cf.row, al.a[cf.k][cf.i])
+		m.SetRHS(sk.consumeRow, totalV-amount)
+		for i := 0; i < n; i++ {
+			if r := sk.perturbRow[i]; r >= 0 {
+				m.SetRHS(r, ws.caps[i])
+			}
+		}
+		if sk.dropRow >= 0 {
+			m.SetRHS(sk.dropRow, ws.caps[requester]-amount)
+		}
+		// cap_flow right-hand sides carry the current A values; rebinding
+		// them per solve (same value the skeleton baked at build time,
+		// unless a SetAgreement mutation moved it) is what lets skeletons
+		// survive absolute-agreement value changes.
+		for _, cf := range sk.capFlowRows {
+			m.SetRHS(cf.row, al.aAt(int(cf.k), int(cf.i)))
+		}
 	}
 
 	sol, err := al.solvePlan(m, requester, ws)
 	if err != nil {
 		return fmt.Errorf("core: allocation LP failed: %w", err)
 	}
-	return al.allocationInto(out, v, requester, amount, sol, ws)
+	return al.allocationInto(out, v, requester, amount, sol, sk, ws)
 }
 
 // solvePlan runs the rebound model, through the requester's warm slot
@@ -504,20 +849,41 @@ func (al *Allocator) solvePlan(m *lp.Model, requester int, ws *planWS) (*lp.Solu
 }
 
 // allocationInto converts an LP solution over V' variables into out,
-// cleaning round-off and recomputing θ exactly. In both LP formulations
-// V'_i is variable i, so values are read by index.
-func (al *Allocator) allocationInto(out *Allocation, v []float64, requester int, amount float64, sol *lp.Solution, ws *planWS) error {
+// cleaning round-off and recomputing θ exactly. In the full
+// formulations V'_i is variable i, so values are read by index; a
+// component skeleton (sk non-nil with vars set) reads its live
+// variables through the vars mapping, every pinned principal staying at
+// exactly v_i with a zero take.
+func (al *Allocator) allocationInto(out *Allocation, v []float64, requester int, amount float64, sol *lp.Solution, sk *planSkeleton, ws *planWS) error {
 	n := al.n
-	for i := 0; i < n; i++ {
-		nv := sol.Value(lp.VarID(i))
-		if nv < 0 {
-			nv = 0
+	if sk != nil && sk.vars != nil {
+		copy(out.NewV, v)
+		for i := range out.Take {
+			out.Take[i] = 0
 		}
-		if nv > v[i] {
-			nv = v[i]
+		for x, i := range sk.vars {
+			nv := sol.Value(lp.VarID(x))
+			if nv < 0 {
+				nv = 0
+			}
+			if nv > v[i] {
+				nv = v[i]
+			}
+			out.NewV[i] = nv
+			out.Take[i] = v[i] - nv
 		}
-		out.NewV[i] = nv
-		out.Take[i] = v[i] - nv
+	} else {
+		for i := 0; i < n; i++ {
+			nv := sol.Value(lp.VarID(i))
+			if nv < 0 {
+				nv = 0
+			}
+			if nv > v[i] {
+				nv = v[i]
+			}
+			out.NewV[i] = nv
+			out.Take[i] = v[i] - nv
+		}
 	}
 	if resid := normalizeTakes(out, v, amount, ws.uCol); math.Abs(resid) > 1e-9*math.Max(1, amount) {
 		// Every source with a take is pinned at its agreement cap and the

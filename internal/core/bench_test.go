@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/agreement"
 )
 
 // Ablation benches for the design choices DESIGN.md calls out: the
@@ -421,6 +423,110 @@ func BenchmarkPlanIncremental100(b *testing.B) {
 			use = v2
 		}
 		if _, err := al.Plan(use, 0, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sparse-first benches: the n=1000 scale the sharded GRM tree runs at.
+// The scenario is the tree harness's shape — disjoint blocks of eight
+// principals chained by relative agreements with one absolute edge
+// closing each block — so S and A stay a few entries per row and the
+// CSR-backed allocator never materializes an n² matrix.
+
+func sparse1000Scenario() (s, a *agreement.SparseMatrix, v []float64) {
+	const n, block = 1000, 8
+	rng := rand.New(rand.NewSource(23))
+	sb := agreement.NewSparseBuilder(n)
+	ab := agreement.NewSparseBuilder(n)
+	for start := 0; start < n; start += block {
+		for j := start; j+1 < start+block && j+1 < n; j++ {
+			sb.Add(j, j+1, 0.1+rng.Float64()*0.3)
+		}
+		end := start + block
+		if end > n {
+			end = n
+		}
+		if end-start >= 2 {
+			ab.Add(end-1, start, 1+rng.Float64()*3)
+		}
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = 50 + rng.Float64()*50
+	}
+	return sb.Build(), ab.Build(), v
+}
+
+// BenchmarkPlanSparse1000 is one allocation solve against the prebuilt
+// sparse allocator with the default full substituted LP: sparse inputs
+// shrink the constraint coefficients, but the model still carries all
+// n+1 variables and ~n perturb rows — the O(n²) tableau this pays is
+// exactly what ComponentLP (next bench) removes.
+func BenchmarkPlanSparse1000(b *testing.B) {
+	s, a, v := sparse1000Scenario()
+	al, err := NewAllocatorSparse(s, a, Config{Level: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+// BenchmarkPlanSparseComponent1000 is the same solve with ComponentLP:
+// the skeleton keeps only the requester's agreement component, so the
+// tableau is a handful of variables instead of n+1 — the configuration
+// the sharded GRM tree runs at scale.
+func BenchmarkPlanSparseComponent1000(b *testing.B) {
+	s, a, v := sparse1000Scenario()
+	al, err := NewAllocatorSparse(s, a, Config{Level: 5, ComponentLP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchPlan(b, al, v)
+}
+
+// BenchmarkCapacitiesSparse1000 is the caps sweep the status and caps
+// handlers pay: one pass over the column triples, O(n + nnz).
+func BenchmarkCapacitiesSparse1000(b *testing.B) {
+	s, a, v := sparse1000Scenario()
+	al, err := NewAllocatorSparse(s, a, Config{Level: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Capacities(v)
+	}
+}
+
+// BenchmarkNewAllocatorSparse1000 is the cold build from CSR inputs —
+// validation, closure, and column triples without ever expanding S or A
+// to n² cells.
+func BenchmarkNewAllocatorSparse1000(b *testing.B) {
+	s, a, _ := sparse1000Scenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAllocatorSparse(s, a, Config{Level: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewAllocatorDense1000 is the same build fed dense n² inputs —
+// the conversion and validation overhead the sparse entry point removes.
+func BenchmarkNewAllocatorDense1000(b *testing.B) {
+	s, a, _ := sparse1000Scenario()
+	sd, ad := s.Dense(), a.Dense()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAllocator(sd, ad, Config{Level: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,7 +15,7 @@ import (
 // Absolute agreements are not part of the paper's printed LP, so the
 // faithful mode rejects them.
 func (al *Allocator) planFaithful(out *Allocation, v []float64, requester int, amount float64, ws *planWS) error {
-	if al.a != nil {
+	if al.hasA {
 		return fmt.Errorf("core: Faithful formulation covers the paper's basic model only (no absolute agreement matrix)")
 	}
 	n := al.n
@@ -97,5 +97,5 @@ func (al *Allocator) planFaithful(out *Allocation, v []float64, requester int, a
 	if err != nil {
 		return fmt.Errorf("core: faithful allocation LP failed: %w", err)
 	}
-	return al.allocationInto(out, v, requester, amount, sol, ws)
+	return al.allocationInto(out, v, requester, amount, sol, nil, ws)
 }

@@ -44,9 +44,10 @@ import (
 // (empty) workspace pool.
 func (al *Allocator) derive() *Allocator {
 	d := &Allocator{
-		n: al.n, s: al.s, a: al.a, k: al.k, cfg: al.cfg,
-		conn: al.conn, colIdx: al.colIdx, skel: al.skel,
-		clo: al.clo, warm: al.warm,
+		n: al.n, aCols: al.aCols, aVals: al.aVals, hasA: al.hasA,
+		k: al.k, cfg: al.cfg,
+		conn: al.conn, colIdx: al.colIdx, colK: al.colK, colA: al.colA,
+		skel: al.skel, clo: al.clo, warm: al.warm,
 	}
 	d.initPool()
 	return d
@@ -67,12 +68,10 @@ func (al *Allocator) SetShare(from, to int, oldVal, newVal float64) (*Allocator,
 	if clo == al.clo {
 		return al, nil
 	}
+	// S itself lives inside the closure's CSR rows; UpdateEdge already
+	// patched it copy-on-write, so the allocator carries no second copy.
 	d := al.derive()
 	d.clo = clo
-	d.s = append([][]float64(nil), al.s...)
-	row := append([]float64(nil), al.s[from]...)
-	row[to] = newVal
-	d.s[from] = row
 	d.applyClosureDelta(al, changed)
 	return d, nil
 }
@@ -118,24 +117,23 @@ func (d *Allocator) applyClosureDelta(prev *Allocator, changed []int) {
 		d.conn[r] = c
 	}
 
-	// Columns whose values moved decide both the colIdx rebuild (pattern
-	// member flips) and which skeletons saw a coefficient change.
+	// Columns whose values moved decide both the column-cache rebuild and
+	// which skeletons saw a coefficient change. colK caches K values, so
+	// a value move (not just a pattern flip) stales the cached column.
 	valCols := make(map[int]bool)
-	patCols := make(map[int]bool)
 	for _, r := range kRows {
 		for j := 0; j < n; j++ {
 			if !num.IsZero(prev.k[r][j] - d.k[r][j]) {
 				valCols[j] = true
-				if num.IsZero(prev.k[r][j]) != num.IsZero(d.k[r][j]) {
-					patCols[j] = true
-				}
 			}
 		}
 	}
-	if len(patCols) > 0 {
+	if len(valCols) > 0 {
 		d.colIdx = append([][]int32(nil), prev.colIdx...)
-		for c := range patCols {
-			d.colIdx[c] = d.colIdxFor(c)
+		d.colK = append([][]float64(nil), prev.colK...)
+		d.colA = append([][]float64(nil), prev.colA...)
+		for c := range valCols {
+			d.colIdx[c], d.colK[c], d.colA[c] = d.colIdxFor(c)
 		}
 	}
 
@@ -143,9 +141,11 @@ func (d *Allocator) applyClosureDelta(prev *Allocator, changed []int) {
 	// K column except r into its constraint rows, so it survives only if
 	// conn held still and the change stayed inside column r. (Under
 	// KeepRequesterConstraint column r appears in r's own drop row too,
-	// so nothing survives.)
+	// so nothing survives. Under ComponentLP the skeleton's live set is
+	// column r's sparsity pattern, which a flip inside column r rewrites,
+	// so nothing survives there either.)
 	soleCol := -1
-	if !connChanged && !d.cfg.KeepRequesterConstraint && len(valCols) == 1 {
+	if !connChanged && !d.cfg.KeepRequesterConstraint && !d.cfg.ComponentLP && len(valCols) == 1 {
 		for c := range valCols {
 			soleCol = c
 		}
@@ -175,10 +175,7 @@ func (al *Allocator) SetAgreement(from, to int, oldVal, newVal float64) (*Alloca
 	if newVal < 0 {
 		return nil, fmt.Errorf("core: SetAgreement(%d, %d): value %g must be non-negative", from, to, newVal)
 	}
-	cur := 0.0
-	if al.a != nil {
-		cur = al.a[from][to]
-	}
+	cur := al.aAt(from, to)
 	if !num.IsZero(cur - oldVal) {
 		return nil, fmt.Errorf("core: SetAgreement(%d, %d): stale old value %g, allocator holds %g", from, to, oldVal, cur)
 	}
@@ -186,26 +183,26 @@ func (al *Allocator) SetAgreement(from, to int, oldVal, newVal float64) (*Alloca
 		return al, nil
 	}
 	d := al.derive()
-	if al.a == nil {
-		d.a = make([][]float64, n)
-		for i := range d.a {
-			d.a[i] = make([]float64, n)
-		}
-	} else {
-		d.a = append([][]float64(nil), al.a...)
+	d.hasA = true
+	d.aCols = append([][]int32(nil), al.aCols...)
+	d.aVals = append([][]float64(nil), al.aVals...)
+	d.aCols[from], d.aVals[from] = setSparseRowEntry(al.aCols[from], al.aVals[from], to, newVal)
+	if from != to {
+		// colA[to] caches A's column values, so any value move stales it.
+		d.colIdx = append([][]int32(nil), al.colIdx...)
+		d.colK = append([][]float64(nil), al.colK...)
+		d.colA = append([][]float64(nil), al.colA...)
+		d.colIdx[to], d.colK[to], d.colA[to] = d.colIdxFor(to)
 	}
-	row := append([]float64(nil), d.a[from]...)
-	row[to] = newVal
-	d.a[from] = row
 	if (oldVal > 0) != (newVal > 0) && from != to {
 		// The u_{from,to} linearization appears or disappears: that entry
 		// sits in every skeleton whose perturb_to row exists, i.e. all but
 		// requester `to`'s own (diagonal entries are read by nothing).
-		d.colIdx = append([][]int32(nil), al.colIdx...)
-		d.colIdx[to] = d.colIdxFor(to)
+		// Under ComponentLP skeleton `to`'s live set is column `to`'s
+		// sparsity pattern, which this flip just changed, so it goes too.
 		d.skel = make([]*planSkeleton, n)
 		for i := range d.skel {
-			if i == to && !d.cfg.KeepRequesterConstraint {
+			if i == to && !d.cfg.KeepRequesterConstraint && !d.cfg.ComponentLP {
 				d.skel[i] = al.skel[i]
 			} else {
 				d.skel[i] = &planSkeleton{}
@@ -213,6 +210,38 @@ func (al *Allocator) SetAgreement(from, to int, oldVal, newVal float64) (*Alloca
 		}
 	}
 	return d, nil
+}
+
+// setSparseRowEntry returns a copy of the sparse row (ascending cols,
+// aligned vals) with entry j set to v — removed when v is exactly zero,
+// replaced or inserted otherwise. The input slices are never mutated.
+func setSparseRowEntry(cols []int32, vals []float64, j int, v float64) ([]int32, []float64) {
+	jc := int32(j)
+	pos := 0
+	for pos < len(cols) && cols[pos] < jc {
+		pos++
+	}
+	found := pos < len(cols) && cols[pos] == jc
+	switch {
+	case num.IsZero(v) && !found:
+		return cols, vals
+	case num.IsZero(v):
+		nc := make([]int32, 0, len(cols)-1)
+		nv := make([]float64, 0, len(vals)-1)
+		nc = append(append(nc, cols[:pos]...), cols[pos+1:]...)
+		nv = append(append(nv, vals[:pos]...), vals[pos+1:]...)
+		return nc, nv
+	case found:
+		nv := append([]float64(nil), vals...)
+		nv[pos] = v
+		return cols, nv
+	default:
+		nc := make([]int32, 0, len(cols)+1)
+		nv := make([]float64, 0, len(vals)+1)
+		nc = append(append(append(nc, cols[:pos]...), jc), cols[pos:]...)
+		nv = append(append(append(nv, vals[:pos]...), v), vals[pos:]...)
+		return nc, nv
+	}
 }
 
 // Grow derives an allocator extended by extra principals holding no
@@ -226,12 +255,14 @@ func (al *Allocator) Grow(extra int) *Allocator {
 		return al
 	}
 	n := al.n + extra
-	d := &Allocator{n: n, cfg: al.cfg}
+	d := &Allocator{n: n, cfg: al.cfg, hasA: al.hasA}
 	d.clo = al.clo.Grow(extra)
-	d.s = growSquare(al.s, n)
-	if al.a != nil {
-		d.a = growSquare(al.a, n)
-	}
+	// A's sparse rows zero-extend for free: new principals hold no
+	// agreements, so their rows stay empty and old rows are shared.
+	d.aCols = make([][]int32, n)
+	d.aVals = make([][]float64, n)
+	copy(d.aCols, al.aCols)
+	copy(d.aVals, al.aVals)
 	d.k = transitive.Cap(d.clo.T())
 	d.conn = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -242,8 +273,10 @@ func (al *Allocator) Grow(extra int) *Allocator {
 		}
 	}
 	d.colIdx = make([][]int32, n)
+	d.colK = make([][]float64, n)
+	d.colA = make([][]float64, n)
 	for i := range d.colIdx {
-		d.colIdx[i] = d.colIdxFor(i)
+		d.colIdx[i], d.colK[i], d.colA[i] = d.colIdxFor(i)
 	}
 	d.skel = make([]*planSkeleton, n)
 	for i := range d.skel {
@@ -258,26 +291,16 @@ func (al *Allocator) Grow(extra int) *Allocator {
 }
 
 // Share returns the current relative agreement entry S[from][to] — the
-// old-value witness callers pass back into SetShare.
-func (al *Allocator) Share(from, to int) float64 { return al.s[from][to] }
+// old-value witness callers pass back into SetShare. S lives in the
+// closure's CSR rows; Edge is a binary search over row `from`.
+func (al *Allocator) Share(from, to int) float64 { return al.clo.Edge(from, to) }
 
 // Agreement returns the current absolute agreement entry A[from][to]
 // (zero when the allocator holds no absolute agreements).
-func (al *Allocator) Agreement(from, to int) float64 {
-	if al.a == nil {
-		return 0
-	}
-	return al.a[from][to]
-}
+func (al *Allocator) Agreement(from, to int) float64 { return al.aAt(from, to) }
 
-// Shares returns a copy of the current relative agreement matrix.
-func (al *Allocator) Shares() [][]float64 {
-	out := make([][]float64, al.n)
-	for i := range out {
-		out[i] = append([]float64(nil), al.s[i]...)
-	}
-	return out
-}
+// Shares returns a dense copy of the current relative agreement matrix.
+func (al *Allocator) Shares() [][]float64 { return al.clo.DenseS() }
 
 // capRow applies transitive.Cap's elementwise clamp to one row.
 func capRow(t []float64) []float64 {

@@ -233,8 +233,8 @@ func TestMutatorCOW(t *testing.T) {
 		t.Fatal(err)
 	}
 	requirePlansIdentical(t, al, rebuiltOld, v, "receiver after SetShare")
-	if !num.IsZero(al.s[from][to] - s[from][to]) {
-		t.Fatalf("receiver S mutated: %v", al.s[from][to])
+	if !num.IsZero(al.Share(from, to) - s[from][to]) {
+		t.Fatalf("receiver S mutated: %v", al.Share(from, to))
 	}
 }
 

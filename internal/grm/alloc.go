@@ -294,7 +294,7 @@ func (s *Server) allocDirect(r *AllocRequest) *Response {
 		}
 		link, token := borrowedFrom, parentLease
 		parentLease = 0
-		s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: token})
+		s.noteRepayLocked(token)
 		s.mu.Unlock()
 		if err := link.repay(token); err != nil {
 			s.logger.Printf("grm: alloc: repaying parent lease %d: %v", token, err)
@@ -338,8 +338,7 @@ func (s *Server) allocDirect(r *AllocRequest) *Response {
 					caps[r.Principal], r.Amount, berr)
 			}
 			borrowed, parentLease, borrowedFrom = got, token, parent
-			s.appendLocked(&store.Record{Kind: store.KindBorrow, Principal: r.Principal,
-				Amount: got, ParentLease: token})
+			s.noteBorrowLocked(r.Principal, got, token)
 			continue
 		}
 		if err != nil {

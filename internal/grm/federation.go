@@ -2,6 +2,8 @@ package grm
 
 import (
 	"fmt"
+
+	"repro/internal/store"
 )
 
 // parentLink is a child GRM's registration with a parent GRM, through
@@ -106,6 +108,23 @@ func (s *Server) DetachParent() error {
 		return nil
 	}
 	return p.lrm.Close()
+}
+
+// noteBorrowLocked records a federation borrow on this level's balance
+// and journals it: the parent granted `amount` units under its lease
+// token for principal's allocation. Callers hold s.mu.
+func (s *Server) noteBorrowLocked(principal int, amount float64, parentLease int) {
+	s.borrows[parentLease] += amount
+	s.appendLocked(&store.Record{Kind: store.KindBorrow, Principal: principal,
+		Amount: amount, ParentLease: parentLease})
+}
+
+// noteRepayLocked settles a federation borrow on this level's balance
+// and journals the repayment intent; the parent round trip itself runs
+// outside the lock. Callers hold s.mu.
+func (s *Server) noteRepayLocked(parentLease int) {
+	delete(s.borrows, parentLease)
+	s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: parentLease})
 }
 
 // borrow asks the parent for `amount` units from the federation and

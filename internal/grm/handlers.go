@@ -214,7 +214,7 @@ func (s *Server) release(r *ReleaseRequest) *Response {
 	if le.parentLease != 0 && le.parentLink != nil {
 		// Record the repayment intent before the round trip: a crash
 		// between the two leaves the parent lease to its TTL reaper.
-		s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: le.parentLease})
+		s.noteRepayLocked(le.parentLease)
 	}
 	s.mu.Unlock()
 	if le.parentLease != 0 && le.parentLink != nil {
@@ -309,7 +309,7 @@ func (s *Server) reapExpired(now time.Time) int {
 		s.removeLeaseLocked(store.KindExpire, token, le)
 		reaped++
 		if le.parentLease != 0 && le.parentLink != nil {
-			s.appendLocked(&store.Record{Kind: store.KindRepay, ParentLease: le.parentLease})
+			s.noteRepayLocked(le.parentLease)
 			repay = append(repay, le)
 		}
 		s.logger.Printf("grm: lease %d expired, takes returned to pool", token)

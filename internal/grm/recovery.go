@@ -176,9 +176,14 @@ func (s *Server) applyLocked(rec *store.Record) error {
 		}
 		le.expires = expiryTime(rec.Expires)
 		return nil
-	case store.KindBorrow, store.KindRepay:
-		// Federation traffic is the parent's state; the local effect of a
-		// borrow is already inside the subsequent alloc record's takes.
+	case store.KindBorrow:
+		// The availability effect of a borrow is inside the subsequent
+		// alloc record's takes; what replays here is this level's borrow
+		// balance, so a restarted node still knows what it owes upward.
+		s.noteBorrowLocked(rec.Principal, rec.Amount, rec.ParentLease)
+		return nil
+	case store.KindRepay:
+		s.noteRepayLocked(rec.ParentLease)
 		return nil
 	default:
 		return fmt.Errorf("unknown record kind %d", rec.Kind)
@@ -200,6 +205,7 @@ func (s *Server) applyStateLocked(st *store.State) error {
 	s.reported = nil
 	s.declaredSnap = nil
 	s.leases = map[int]*lease{}
+	s.borrows = map[int]float64{}
 	s.planner = nil
 
 	if len(st.Declared) > 0 {
@@ -253,6 +259,9 @@ func (s *Server) applyStateLocked(st *store.State) error {
 			parentLease: ls.ParentLease,
 		}
 	}
+	for _, b := range st.Borrows {
+		s.borrows[b.ParentLease] = b.Amount
+	}
 	s.nextLease = st.NextLease
 	s.epoch++
 	return nil
@@ -290,6 +299,14 @@ func (s *Server) stateLocked() *store.State {
 			Expires:     expiryUnix(le.expires),
 			ParentLease: le.parentLease,
 		})
+	}
+	borrowTokens := make([]int, 0, len(s.borrows))
+	for token := range s.borrows {
+		borrowTokens = append(borrowTokens, token)
+	}
+	sort.Ints(borrowTokens)
+	for _, token := range borrowTokens {
+		st.Borrows = append(st.Borrows, store.BorrowState{ParentLease: token, Amount: s.borrows[token]})
 	}
 	return st
 }

@@ -73,6 +73,11 @@ type Server struct {
 	attaching bool           // AttachParent reservation held across the parent dial
 	leases    map[int]*lease // wal:journaled
 	nextLease int            // wal:journaled
+	// borrows is this level's federation borrow balance: parent lease
+	// token → amount still outstanding at the parent. In a multi-level GRM
+	// tree every node carries its own balance, so Status can report the
+	// borrows per level instead of flattening the tree.
+	borrows map[int]float64 // wal:journaled
 
 	// epoch counts state changes that could invalidate an in-flight plan:
 	// availability edits, agreement edits, and lease commits. alloc
@@ -140,6 +145,7 @@ func NewServer(cfg core.Config, logger *log.Logger) *Server {
 		closed:    make(chan struct{}),
 		logger:    logger,
 		leases:    map[int]*lease{},
+		borrows:   map[int]float64{},
 		nextLease: 1,
 		allocQ:    make(chan *allocJob, allocQueueCap),
 		clock:     vclock.Real{},
@@ -193,6 +199,15 @@ func (s *Server) SetTimeouts(idle, write time.Duration) {
 // starts the lease reaper (when a TTL is configured) and the batch
 // scheduler that drains the allocation admission queue.
 func (s *Server) Serve(l net.Listener) error {
+	s.startBackground()
+	return s.tr.Serve(l)
+}
+
+// startBackground launches the lease reaper (when a TTL is configured)
+// and the batch scheduler. Serve calls it; the shard router calls it
+// directly because shard servers handle requests without listeners of
+// their own. Idempotent.
+func (s *Server) startBackground() {
 	s.mu.Lock()
 	ttl := s.leaseTTL
 	s.mu.Unlock()
@@ -207,8 +222,13 @@ func (s *Server) Serve(l net.Listener) error {
 		s.schedOn.Store(true)
 		go s.scheduler()
 	})
-	return s.tr.Serve(l)
 }
+
+// Handle serves one request envelope in-process, exactly as if it had
+// arrived over a connection (taps fire, records journal). The shard
+// router and large-scale model tests drive servers through it without
+// paying a transport round trip.
+func (s *Server) Handle(req *Request) *Response { return s.dispatch(req) }
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -409,11 +429,11 @@ func (s *Server) currentPlannerLocked() (*core.Allocator, error) {
 	if s.planner != nil {
 		return s.planner, nil
 	}
-	m, err := s.sys.Matrices(agreement.General)
+	m, err := s.sys.SparseMatrices(agreement.General)
 	if err != nil {
 		return nil, err
 	}
-	planner, err := core.NewAllocator(m.S, m.A, s.cfg)
+	planner, err := core.NewAllocatorSparse(m.S, m.A, s.cfg)
 	if err != nil {
 		return nil, err
 	}

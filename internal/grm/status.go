@@ -3,6 +3,7 @@ package grm
 import (
 	"encoding/json"
 	"net/http"
+	"sort"
 )
 
 // Status is a point-in-time view of the GRM for operators: who is
@@ -30,6 +31,34 @@ type Status struct {
 	BatchPlanNanos int64 `json:"batch_plan_nanos"`
 	// QueueDepth is the current admission-queue backlog.
 	QueueDepth int `json:"queue_depth"`
+	// Federation is this node's level of the GRM tree: whether a parent
+	// is attached and the node's own borrow balance against it. Each node
+	// reports only its own level — querying every node of a tree yields
+	// the per-level balances instead of one flattened number.
+	Federation FederationStatus `json:"federation"`
+}
+
+// FederationStatus is one GRM node's borrow balance against its parent.
+type FederationStatus struct {
+	// Attached reports whether a live parent link exists.
+	Attached bool `json:"attached"`
+	// TotalBorrowed sums the outstanding borrow amounts at this level.
+	TotalBorrowed float64 `json:"total_borrowed"`
+	// Borrows lists the outstanding borrows by parent lease token,
+	// ascending.
+	Borrows []BorrowBalance `json:"borrows,omitempty"`
+}
+
+// BorrowBalance is one outstanding federation borrow.
+type BorrowBalance struct {
+	// ParentLease is the parent GRM's lease token backing the borrow.
+	ParentLease int `json:"parent_lease"`
+	// Amount is the borrowed quantity still outstanding.
+	Amount float64 `json:"amount"`
+	// Unresolved marks a borrow no surviving lease can repay through a
+	// live parent link (typically after a crash recovery); the parent's
+	// lease TTL reclaims it.
+	Unresolved bool `json:"unresolved,omitempty"`
 }
 
 // PrincipalStatus is one principal's row in the status view.
@@ -61,6 +90,7 @@ func (s *Server) Status() (*Status, error) {
 			out.Agreements++
 		}
 	}
+	out.Federation = s.federationLocked()
 	if len(s.avail) == 0 {
 		return out, nil
 	}
@@ -79,6 +109,38 @@ func (s *Server) Status() (*Status, error) {
 		})
 	}
 	return out, nil
+}
+
+// federationLocked assembles this level's borrow balance. A borrow is
+// unresolved when no outstanding lease holds a live parent link for its
+// token — the post-recovery state UnresolvedBorrows also surfaces.
+// Callers hold s.mu.
+func (s *Server) federationLocked() FederationStatus {
+	fs := FederationStatus{Attached: s.parent != nil}
+	if len(s.borrows) == 0 {
+		return fs
+	}
+	live := map[int]bool{}
+	for _, le := range s.leases {
+		if le.parentLease != 0 && le.parentLink != nil {
+			live[le.parentLease] = true
+		}
+	}
+	tokens := make([]int, 0, len(s.borrows))
+	for token := range s.borrows {
+		tokens = append(tokens, token)
+	}
+	sort.Ints(tokens)
+	for _, token := range tokens {
+		amt := s.borrows[token]
+		fs.TotalBorrowed += amt
+		fs.Borrows = append(fs.Borrows, BorrowBalance{
+			ParentLease: token,
+			Amount:      amt,
+			Unresolved:  !live[token],
+		})
+	}
+	return fs
 }
 
 // ServeHTTP exposes the status as JSON, so a GRM can be wired into any

@@ -1,0 +1,103 @@
+package modeltest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// Sparse-vs-dense bit-equality: an allocator built from CSR inputs
+// (NewAllocatorSparse) must be indistinguishable — to the last bit —
+// from one built from the equivalent dense matrices, across the whole
+// generated taxonomy. Closure rows, capacities, and every Plan outcome
+// are compared with ==, not a tolerance: the sparse path reorders no
+// arithmetic, so drift of even one ulp is a refactor bug. The same
+// equality must hold with ComponentLP on (both allocators then share the
+// component formulation, so their LPs pivot identically).
+
+// toSparse converts a dense matrix to the CSR builder form, dropping
+// exact zeros — the inverse of SparseMatrix.Dense.
+func toSparse(m [][]float64, n int) *agreement.SparseMatrix {
+	b := agreement.NewSparseBuilder(n)
+	for i, row := range m {
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func bitEqualVec(t *testing.T, what string, dense, sparse []float64) {
+	t.Helper()
+	if len(dense) != len(sparse) {
+		t.Fatalf("%s: length %d (dense) vs %d (sparse)", what, len(dense), len(sparse))
+	}
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("%s[%d]: %v (dense) vs %v (sparse) — paths diverged by %g",
+				what, i, dense[i], sparse[i], dense[i]-sparse[i])
+		}
+	}
+}
+
+func TestSparseDenseBitEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(*seedFlag))
+	cases := 120
+	if testing.Short() {
+		cases = 30
+	}
+	for c := 0; c < cases; c++ {
+		g := Generate(rng)
+		for _, componentLP := range []bool{false, true} {
+			cfg := core.Config{Level: g.Level, ComponentLP: componentLP}
+			dense, derr := core.NewAllocator(g.S, g.A, cfg)
+			var sa *agreement.SparseMatrix
+			if g.A != nil {
+				sa = toSparse(g.A, g.N)
+			}
+			sparse, serr := core.NewAllocatorSparse(toSparse(g.S, g.N), sa, cfg)
+			if (derr == nil) != (serr == nil) {
+				t.Fatalf("case %d: construction disagrees: dense %v, sparse %v\n%s", c, derr, serr, g)
+			}
+			if derr != nil {
+				continue // both refused (e.g. closure budget); nothing to compare
+			}
+
+			dk, sk := dense.FlowCoefficients(), sparse.FlowCoefficients()
+			for i := range dk {
+				bitEqualVec(t, "closure row", dk[i], sk[i])
+			}
+			bitEqualVec(t, "capacities", dense.Capacities(g.V), sparse.Capacities(g.V))
+
+			caps := dense.Capacities(g.V)
+			for r := 0; r < g.N; r++ {
+				for _, amount := range []float64{0.5, caps[r], caps[r] * 1.5} {
+					if amount <= 0 {
+						continue
+					}
+					dp, dpErr := dense.Plan(g.V, r, amount)
+					sp, spErr := sparse.Plan(g.V, r, amount)
+					if (dpErr == nil) != (spErr == nil) ||
+						errors.Is(dpErr, core.ErrInsufficient) != errors.Is(spErr, core.ErrInsufficient) {
+						t.Fatalf("case %d componentLP=%v: Plan(%d, %g) disagrees: dense %v, sparse %v\n%s",
+							c, componentLP, r, amount, dpErr, spErr, g)
+					}
+					if dpErr != nil {
+						continue
+					}
+					if dp.Theta != sp.Theta {
+						t.Fatalf("case %d componentLP=%v: Plan(%d, %g) theta %v (dense) vs %v (sparse)\n%s",
+							c, componentLP, r, amount, dp.Theta, sp.Theta, g)
+					}
+					bitEqualVec(t, "take", dp.Take, sp.Take)
+					bitEqualVec(t, "newV", dp.NewV, sp.NewV)
+				}
+			}
+		}
+	}
+}

@@ -93,9 +93,14 @@ type replayState struct {
 
 	nodes map[int]*replayNode
 
-	// parent federation fixtures (built by an attach event).
-	parentSrv  *grm.Server
-	parentLRMs []*grm.LRM
+	// parent federation fixtures (built by an attach event). parentSrv
+	// is the immediate parent — the level checkpoints observe;
+	// ancestorSrvs holds every GRM the attach raised (immediate parent
+	// first when the spec nests, then each level above), all closed on
+	// replay exit.
+	parentSrv    *grm.Server
+	ancestorSrvs []*grm.Server
+	parentLRMs   []*grm.LRM
 }
 
 // Replay runs the bundle against a fresh grm.Server on a virtual clock
@@ -125,8 +130,8 @@ func Replay(b *Bundle, opts ReplayOptions) (*Result, error) {
 		for _, lrm := range st.parentLRMs {
 			lrm.Close()
 		}
-		if st.parentSrv != nil {
-			st.parentSrv.Close()
+		for _, srv := range st.ancestorSrvs {
+			srv.Close()
 		}
 	}()
 	st.addr = l.Addr().String()
@@ -345,47 +350,82 @@ func (st *replayState) execute(ev *Event) *Outcome {
 	return out
 }
 
-// attach builds the in-process parent GRM an attach event describes:
-// sibling principals registered at the parent, the replayed cluster
-// attached as one more LRM, and each sibling's relative share granted to
+// attach builds the in-process GRM tree an attach event describes:
+// sibling principals registered at the (possibly multi-level) parent
+// chain, the replayed cluster attached as one more LRM at the lowest
+// level, and each sibling's relative share granted to the cluster below
 // it — the borrow path of federation.go, wholly inside the replay.
 func (st *replayState) attach(ev *Event, out *Outcome) error {
 	if st.parentSrv != nil {
 		return fmt.Errorf("scenario: attach: parent already attached")
 	}
-	parent := grm.NewServer(core.Config{}, nil)
-	// The parent shares the replay's virtual clock but keeps TTL zero:
-	// parent-side leases (the cluster's borrows) never expire on their
-	// own, so replay determinism needs no parent reaper.
-	parent.SetClock(st.vc)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	parent, paddr, sibs, err := st.buildLevel(ev.Parent)
 	if err != nil {
-		return fmt.Errorf("scenario: attach listen: %w", err)
+		return err
 	}
-	go parent.Serve(l)
 	st.parentSrv = parent
-	paddr := l.Addr().String()
-
-	sibs := make([]*grm.LRM, 0, len(ev.Parent.Siblings))
-	for _, spec := range ev.Parent.Siblings {
-		lrm, err := grm.DialWithConfig(paddr, spec.Name, spec.Capacity, st.dialCfg(nil))
-		if err != nil {
-			return fmt.Errorf("scenario: attach sibling %q: %w", spec.Name, err)
-		}
-		st.parentLRMs = append(st.parentLRMs, lrm)
-		sibs = append(sibs, lrm)
-	}
 	if err := st.srv.AttachParentConfig(paddr, ev.Name, st.dialCfg(nil)); err != nil {
 		return fmt.Errorf("scenario: attach: %w", err)
 	}
 	clusterPid := st.srv.Parent().Principal()
 	out.Principal = &clusterPid
-	for i, spec := range ev.Parent.Siblings {
-		if spec.Fraction == 0 {
+	return st.grantSiblingShares(ev.Parent, sibs, clusterPid)
+}
+
+// buildLevel raises the GRM one ParentSpec level describes — its
+// sibling principals and, recursively, the grandparent chain above it,
+// with each level attached to the one above as a single cluster LRM and
+// granted its siblings' shares. Returns the level's server, its listen
+// address, and the sibling LRMs so the caller can grant their shares to
+// the cluster attaching from below.
+func (st *replayState) buildLevel(spec *ParentSpec) (*grm.Server, string, []*grm.LRM, error) {
+	srv := grm.NewServer(core.Config{}, nil)
+	// Every ancestor shares the replay's virtual clock but keeps TTL
+	// zero: ancestor-side leases (the borrows) never expire on their
+	// own, so replay determinism needs no reaper above the leaf.
+	srv.SetClock(st.vc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("scenario: attach listen: %w", err)
+	}
+	go srv.Serve(l)
+	st.ancestorSrvs = append(st.ancestorSrvs, srv)
+	addr := l.Addr().String()
+
+	sibs := make([]*grm.LRM, 0, len(spec.Siblings))
+	for _, sib := range spec.Siblings {
+		lrm, err := grm.DialWithConfig(addr, sib.Name, sib.Capacity, st.dialCfg(nil))
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("scenario: attach sibling %q: %w", sib.Name, err)
+		}
+		st.parentLRMs = append(st.parentLRMs, lrm)
+		sibs = append(sibs, lrm)
+	}
+	if spec.Parent != nil {
+		_, gaddr, gsibs, err := st.buildLevel(spec.Parent)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := srv.AttachParentConfig(gaddr, spec.Name, st.dialCfg(nil)); err != nil {
+			return nil, "", nil, fmt.Errorf("scenario: attach %q: %w", spec.Name, err)
+		}
+		pid := srv.Parent().Principal()
+		if err := st.grantSiblingShares(spec.Parent, gsibs, pid); err != nil {
+			return nil, "", nil, err
+		}
+	}
+	return srv, addr, sibs, nil
+}
+
+// grantSiblingShares issues each sibling's relative share to the
+// cluster principal that just attached at their level.
+func (st *replayState) grantSiblingShares(spec *ParentSpec, sibs []*grm.LRM, clusterPid int) error {
+	for i, sib := range spec.Siblings {
+		if sib.Fraction == 0 {
 			continue
 		}
-		if _, err := sibs[i].ShareRelative(clusterPid, spec.Fraction); err != nil {
-			return fmt.Errorf("scenario: attach share %q: %w", spec.Name, err)
+		if _, err := sibs[i].ShareRelative(clusterPid, sib.Fraction); err != nil {
+			return fmt.Errorf("scenario: attach share %q: %w", sib.Name, err)
 		}
 	}
 	return nil

@@ -77,8 +77,59 @@ const DefaultTolerance = 1e-9
 // ParentSpec describes the parent GRM an attach event builds: sibling
 // clusters registered at the parent and the relative share each grants
 // the attaching cluster, so the child can borrow through the federation.
+// A nested Parent stacks one more GRM level above this one, so a single
+// attach event can raise a whole tree branch (DESIGN.md §7d).
 type ParentSpec struct {
 	Siblings []SiblingSpec `json:"siblings"`
+	// Name is the cluster name this parent registers under at its own
+	// parent; required when Parent is set.
+	Name string `json:"name,omitempty"`
+	// Parent, when set, attaches this parent GRM to a grandparent built
+	// from the nested spec — recursively, capped at maxAttachLevels —
+	// so borrows chain upward exactly as in the live grmd topology.
+	Parent *ParentSpec `json:"parent,omitempty"`
+}
+
+// maxAttachLevels caps how many GRM levels one attach event may stack
+// above the replayed server — enough for the paper's site/region/root
+// topologies while keeping fuzzed bundles from raising server chains of
+// arbitrary depth.
+const maxAttachLevels = 4
+
+// validate checks one level of a parent spec (and, recursively, the
+// levels nested above it). level is 1 for the immediate parent.
+func (p *ParentSpec) validate(level int) error {
+	if level > maxAttachLevels {
+		return fmt.Errorf("parent nesting deeper than %d levels", maxAttachLevels)
+	}
+	for i, sib := range p.Siblings {
+		if sib.Name == "" {
+			return fmt.Errorf("level %d sibling %d: empty name", level, i)
+		}
+		if sib.Capacity < 0 || math.IsNaN(sib.Capacity) || math.IsInf(sib.Capacity, 0) {
+			return fmt.Errorf("level %d sibling %d: bad capacity %g", level, i, sib.Capacity)
+		}
+		if sib.Fraction < 0 || sib.Fraction > 1 || math.IsNaN(sib.Fraction) {
+			return fmt.Errorf("level %d sibling %d: bad fraction %g", level, i, sib.Fraction)
+		}
+	}
+	if p.Parent != nil {
+		if p.Name == "" {
+			return fmt.Errorf("level %d: empty cluster name for nested parent", level)
+		}
+		return p.Parent.validate(level + 1)
+	}
+	return nil
+}
+
+// levels counts the GRM levels the spec stacks above the replayed
+// server (1 = a single parent).
+func (p *ParentSpec) levels() int {
+	n := 0
+	for s := p; s != nil; s = s.Parent {
+		n++
+	}
+	return n
 }
 
 // SiblingSpec is one sibling principal at the parent GRM.
@@ -214,16 +265,8 @@ func (e *Event) Validate() error {
 		if e.Parent == nil {
 			return fmt.Errorf("attach: missing parent spec")
 		}
-		for i, sib := range e.Parent.Siblings {
-			if sib.Name == "" {
-				return fmt.Errorf("attach: sibling %d: empty name", i)
-			}
-			if sib.Capacity < 0 || math.IsNaN(sib.Capacity) || math.IsInf(sib.Capacity, 0) {
-				return fmt.Errorf("attach: sibling %d: bad capacity %g", i, sib.Capacity)
-			}
-			if sib.Fraction < 0 || sib.Fraction > 1 || math.IsNaN(sib.Fraction) {
-				return fmt.Errorf("attach: sibling %d: bad fraction %g", i, sib.Fraction)
-			}
+		if err := e.Parent.validate(1); err != nil {
+			return fmt.Errorf("attach: %w", err)
 		}
 	}
 	return nil
@@ -254,6 +297,9 @@ func (e *Event) describe() string {
 	case OpAdvance:
 		return "advance"
 	case OpAttach:
+		if lv := e.Parent.levels(); lv > 1 {
+			return fmt.Sprintf("attach %q siblings=%d levels=%d", e.Name, len(e.Parent.Siblings), lv)
+		}
 		return fmt.Sprintf("attach %q siblings=%d", e.Name, len(e.Parent.Siblings))
 	default:
 		return e.Op

@@ -20,6 +20,7 @@ var seedBuilders = []func() *Bundle{
 	taxonomyLoop,
 	taxonomyDecay,
 	federationChurn,
+	treeThreeLevel,
 	voCPUSharing,
 	fairnessStress,
 	leaseChurn,
@@ -240,6 +241,46 @@ func federationChurn() *Bundle {
 	b.ren(4000, 2)      // renewed: expires at t=14000
 	b.adv(15_000)       // expiry reaps the lease and repays the borrow
 	b.rep(15_500, 0, 1.5)
+	return b.bundle()
+}
+
+// treeThreeLevel stacks the full three-level GRM tree inside one replay:
+// a two-node leaf cluster under a capacity-poor mid-level region, itself
+// attached to a root with lendable capacity. A leaf deficit larger than
+// the region can cover forces the borrow to chain leaf→region→root, and
+// release and lease expiry repay back down the same chain.
+func treeThreeLevel() *Bundle {
+	b := newBuilder("tree-3level",
+		"chained borrow/repay through a three-level GRM tree",
+		"DESIGN.md §7d sharding & the GRM tree; paper §3 multi-level architecture")
+	b.meta.TTLMS = 10_000
+	b.reg(0, "node0", 2)
+	b.reg(0, "node1", 2)
+	// One attach raises the whole branch: the leaf joins region-east as
+	// "site-a"; region-east — whose only local lender holds 1 unit —
+	// joins the root, where root-buffer shares half of 8 units with it.
+	b.add(500, Event{Op: OpAttach, Name: "site-a", Parent: &ParentSpec{
+		Siblings: []SiblingSpec{{Name: "mid-buffer", Capacity: 1, Fraction: 1}},
+		Name:     "region-east",
+		Parent: &ParentSpec{
+			Siblings: []SiblingSpec{
+				{Name: "root-buffer", Capacity: 8, Fraction: 0.5},
+				{Name: "region-west", Capacity: 4},
+			},
+		},
+	}})
+	// The region sees 5 lendable units (the cluster's own aggregate of 4
+	// plus mid-buffer's 1), so a borrow of 6 can only be covered by the
+	// region borrowing the last unit from the root: the checkpointed
+	// region books drain to zero while the grant still lands in full.
+	b.alc(1000, 0, 8)   // leaf covers 2, borrows 6 — chained leaf→region→root (lease 1)
+	b.rel(2000, 1)      // release repays the chain bottom-up
+	b.alc(3000, 1, 7.5) // borrow 5.5: again past the region's 5, again into the root (lease 2)
+	b.ren(4000, 2)      // renewed: expires at t=14000
+	b.adv(15_000)       // expiry reaps the lease and repays through both levels
+	b.rep(15_500, 0, 1.5)
+	b.alc(16_000, 0, 2) // the pool is whole again after the repay (lease 3)
+	b.rel(17_000, 3)
 	return b.bundle()
 }
 

@@ -139,6 +139,10 @@ type State struct {
 	Shares []ShareState `json:"shares,omitempty"`
 	// Leases are the outstanding allocations.
 	Leases []LeaseState `json:"leases,omitempty"`
+	// Borrows are the outstanding federation borrows from the parent GRM,
+	// keyed by the parent's lease token — this level's borrow balance in a
+	// multi-level GRM tree.
+	Borrows []BorrowState `json:"borrows,omitempty"`
 	// NextLease is the next lease token to hand out.
 	NextLease int `json:"next_lease"`
 }
@@ -158,6 +162,12 @@ type LeaseState struct {
 	Takes       []float64 `json:"takes"`
 	Expires     int64     `json:"expires,omitempty"`
 	ParentLease int       `json:"parent_lease,omitempty"`
+}
+
+// BorrowState is one outstanding federation borrow in the compacted state.
+type BorrowState struct {
+	ParentLease int     `json:"parent_lease"`
+	Amount      float64 `json:"amount"`
 }
 
 // Log is the interface the GRM records through. Implementations must be

@@ -38,6 +38,13 @@ var ErrBudget = errors.New("transitive: exact enumeration exceeds step budget")
 // is bit-for-bit identical to a from-scratch rebuild — pinned by the
 // closure tests and the modeltest incremental-equivalence property.
 //
+// The agreement matrix itself lives in CSR form — per-row ascending
+// column lists (adj) with aligned values (vals) — so a closure over a
+// sparse graph costs O(n + edges) for S regardless of n; only the flow
+// matrix T stays dense. The sparse kernels read the same floats in the
+// same order a dense scan would, keeping every result bit-identical to
+// the historical dense-row implementation.
+//
 // Closures are copy-on-write: mutators return a derived *Closure sharing
 // every unchanged row slice with the receiver, which stays valid — the
 // concurrency model the grm server needs, where in-flight solves hold a
@@ -48,9 +55,10 @@ type Closure struct {
 	// full-transitivity closure (level >= n-1) stays full after Grow.
 	reqLevel int
 	approx   bool
-	s        [][]float64 // agreement matrix; rows shared COW with ancestors
+	n        int
 	t        [][]float64 // flow coefficients; rows shared COW
 	adj      [][]int32   // ascending non-zero out-edges per row; shared COW
+	vals     [][]float64 // edge values aligned with adj; shared COW
 	edges    int
 	// budget caps the DFS steps an exact delta may enumerate (0 = no
 	// cap); exceeded budgets surface as ErrBudget before any recompute.
@@ -68,26 +76,44 @@ const blastDenominator = 2
 // fails; validate untrusted input first. Level values beyond n-1 request
 // full transitivity and keep requesting it as the closure grows.
 func NewClosure(s [][]float64, level int, approx bool) *Closure {
-	n := len(s)
-	cs := zeros(n)
-	for i := range s {
-		copy(cs[i], s[i])
+	if err := Validate(s); err != nil {
+		panic(err)
 	}
+	adj, vals, edges := adjacency(s)
+	return newClosureFromRows(len(s), adj, vals, edges, level, approx)
+}
+
+// NewClosureCSR is NewClosure over CSR rows: cols holds each row's
+// ascending non-zero column indices, vals the matching values (rows may
+// be nil). The closure keeps references to the rows; callers must treat
+// them as immutable afterwards. Invalid input (diagonal or negative
+// entries) panics, mirroring NewClosure.
+func NewClosureCSR(n int, cols [][]int32, vals [][]float64, level int, approx bool) *Closure {
+	if err := validateCSR(n, cols, vals); err != nil {
+		panic(err)
+	}
+	edges := 0
+	for _, row := range cols {
+		edges += len(row)
+	}
+	return newClosureFromRows(n, cols, vals, edges, level, approx)
+}
+
+func newClosureFromRows(n int, adj [][]int32, vals [][]float64, edges, level int, approx bool) *Closure {
 	var t [][]float64
 	if approx {
-		t = Approx(cs, level)
+		t = approxWorkersCSR(n, adj, vals, level, par.Workers(n))
 	} else {
-		t = Exact(cs, level)
+		t = exactWorkersCSR(n, adj, vals, level, par.Workers(n))
 	}
-	adj, edges := adjacency(cs)
-	return &Closure{reqLevel: level, approx: approx, s: cs, t: t, adj: adj, edges: edges}
+	return &Closure{reqLevel: level, approx: approx, n: n, t: t, adj: adj, vals: vals, edges: edges}
 }
 
 // N returns the number of principals.
-func (c *Closure) N() int { return len(c.s) }
+func (c *Closure) N() int { return c.n }
 
 // Level returns the effective (clamped) level of transitivity.
-func (c *Closure) Level() int { return clampLevel(c.reqLevel, len(c.s)) }
+func (c *Closure) Level() int { return clampLevel(c.reqLevel, c.n) }
 
 // IsApprox reports whether the closure uses the matrix-power
 // approximation instead of exact chain enumeration.
@@ -98,8 +124,38 @@ func (c *Closure) IsApprox() bool { return c.approx }
 // treat both levels of the slice as read-only.
 func (c *Closure) T() [][]float64 { return c.t }
 
-// Edge returns the current agreement entry S[src][dst].
-func (c *Closure) Edge(src, dst int) float64 { return c.s[src][dst] }
+// Edge returns the current agreement entry S[src][dst]: a binary search
+// over row src's sorted column list, 0 when unstored.
+func (c *Closure) Edge(src, dst int) float64 {
+	cols := c.adj[src]
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(dst) })
+	if k < len(cols) && cols[k] == int32(dst) {
+		return c.vals[src][k]
+	}
+	return 0
+}
+
+// SparseRow returns row src of the agreement matrix as ascending column
+// indices and values. The slices are shared with the closure and must be
+// treated as read-only.
+func (c *Closure) SparseRow(src int) ([]int32, []float64) {
+	return c.adj[src], c.vals[src]
+}
+
+// Edges returns the number of stored agreement entries.
+func (c *Closure) Edges() int { return c.edges }
+
+// DenseS materializes the agreement matrix as dense rows — the export
+// used by snapshots and tests; unstored entries come out as +0 exactly.
+func (c *Closure) DenseS() [][]float64 {
+	out := zeros(c.n)
+	for i := 0; i < c.n; i++ {
+		for k, j := range c.adj[i] {
+			out[i][j] = c.vals[i][k]
+		}
+	}
+	return out
+}
 
 // WithBudget caps the DFS steps an exact delta recompute may take before
 // giving up with ErrBudget (0 removes the cap). It returns the receiver
@@ -114,10 +170,10 @@ func (c *Closure) WithBudget(steps int) *Closure {
 // shallow clones the slice headers so a derived closure can swap
 // individual rows without touching the receiver.
 func (c *Closure) shallow() *Closure {
-	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, edges: c.edges, budget: c.budget}
-	d.s = append([][]float64(nil), c.s...)
+	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, n: c.n, edges: c.edges, budget: c.budget}
 	d.t = append([][]float64(nil), c.t...)
 	d.adj = append([][]int32(nil), c.adj...)
+	d.vals = append([][]float64(nil), c.vals...)
 	return d
 }
 
@@ -129,7 +185,7 @@ func (c *Closure) shallow() *Closure {
 // must match the current entry; the mismatch error catches callers whose
 // shadow copy of S has drifted from the closure's.
 func (c *Closure) UpdateEdge(src, dst int, oldVal, newVal float64) (*Closure, []int, error) {
-	n := len(c.s)
+	n := c.n
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): index out of range for n=%d", src, dst, n)
 	}
@@ -139,17 +195,15 @@ func (c *Closure) UpdateEdge(src, dst int, oldVal, newVal float64) (*Closure, []
 	if newVal < 0 {
 		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): value %g must be non-negative", src, dst, newVal)
 	}
-	if !num.IsZero(c.s[src][dst] - oldVal) {
-		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): stale old value %g, closure holds %g", src, dst, oldVal, c.s[src][dst])
+	cur := c.Edge(src, dst)
+	if !num.IsZero(cur - oldVal) {
+		return nil, nil, fmt.Errorf("transitive: UpdateEdge(%d, %d): stale old value %g, closure holds %g", src, dst, oldVal, cur)
 	}
 	if num.IsZero(oldVal - newVal) {
 		return c, nil, nil
 	}
 	d := c.shallow()
-	row := append([]float64(nil), c.s[src]...)
-	row[dst] = newVal
-	d.s[src] = row
-	d.adj[src] = adjRow(row)
+	d.adj[src], d.vals[src] = setSparseEntry(c.adj[src], c.vals[src], dst, newVal)
 	d.edges += len(d.adj[src]) - len(c.adj[src])
 	rows := c.affected(src)
 	if err := d.checkBudget(rows); err != nil {
@@ -158,12 +212,41 @@ func (c *Closure) UpdateEdge(src, dst int, oldVal, newVal float64) (*Closure, []
 	return d, d.recompute(c, rows), nil
 }
 
+// setSparseEntry returns fresh row slices with column dst set to v —
+// inserted, replaced, or removed (exact zeros are unstored) — leaving
+// the input rows untouched (they stay shared with ancestor closures).
+func setSparseEntry(cols []int32, vals []float64, dst int, v float64) ([]int32, []float64) {
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(dst) })
+	present := k < len(cols) && cols[k] == int32(dst)
+	switch {
+	case num.IsZero(v) && !present:
+		return cols, vals
+	case num.IsZero(v): // remove
+		nc := make([]int32, 0, len(cols)-1)
+		nv := make([]float64, 0, len(vals)-1)
+		nc = append(append(nc, cols[:k]...), cols[k+1:]...)
+		nv = append(append(nv, vals[:k]...), vals[k+1:]...)
+		return nc, nv
+	case present: // replace
+		nc := append([]int32(nil), cols...)
+		nv := append([]float64(nil), vals...)
+		nv[k] = v
+		return nc, nv
+	default: // insert at k
+		nc := make([]int32, 0, len(cols)+1)
+		nv := make([]float64, 0, len(vals)+1)
+		nc = append(append(append(nc, cols[:k]...), int32(dst)), cols[k:]...)
+		nv = append(append(append(nv, vals[:k]...), v), vals[k:]...)
+		return nc, nv
+	}
+}
+
 // UpdateRow derives a closure with the whole out-edge row S[src]
 // replaced. Validation matches Validate: the diagonal entry must be zero
 // and every entry non-negative. The affected set is the same as a single
 // edge update's — every edited edge leaves src.
 func (c *Closure) UpdateRow(src int, row []float64) (*Closure, []int, error) {
-	n := len(c.s)
+	n := c.n
 	if src < 0 || src >= n {
 		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): index out of range for n=%d", src, n)
 	}
@@ -173,12 +256,16 @@ func (c *Closure) UpdateRow(src int, row []float64) (*Closure, []int, error) {
 	if !num.IsZero(row[src]) {
 		return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): diagonal entry %g must be zero", src, row[src])
 	}
+	cur := make([]float64, n)
+	for k, j := range c.adj[src] {
+		cur[j] = c.vals[src][k]
+	}
 	same := true
 	for j, v := range row {
 		if v < 0 {
 			return nil, nil, fmt.Errorf("transitive: UpdateRow(%d): entry %d = %g must be non-negative", src, j, v)
 		}
-		if !num.IsZero(v - c.s[src][j]) {
+		if !num.IsZero(v - cur[j]) {
 			same = false
 		}
 	}
@@ -186,8 +273,7 @@ func (c *Closure) UpdateRow(src int, row []float64) (*Closure, []int, error) {
 		return c, nil, nil
 	}
 	d := c.shallow()
-	d.s[src] = append([]float64(nil), row...)
-	d.adj[src] = adjRow(d.s[src])
+	d.adj[src], d.vals[src] = sparseRowOf(row)
 	d.edges += len(d.adj[src]) - len(c.adj[src])
 	rows := c.affected(src)
 	if err := d.checkBudget(rows); err != nil {
@@ -206,15 +292,15 @@ func (c *Closure) Grow(k int) *Closure {
 	if k <= 0 {
 		return c
 	}
-	n := len(c.s)
-	nn := n + k
-	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, edges: c.edges, budget: c.budget}
-	d.s = growRows(c.s, nn)
+	nn := c.n + k
+	d := &Closure{reqLevel: c.reqLevel, approx: c.approx, n: nn, edges: c.edges, budget: c.budget}
 	d.t = growRows(c.t, nn)
 	d.adj = make([][]int32, nn)
 	copy(d.adj, c.adj)
+	d.vals = make([][]float64, nn)
+	copy(d.vals, c.vals)
 	if c.approx && d.Level() != c.Level() {
-		d.t = Approx(d.s, d.reqLevel)
+		d.t = approxWorkersCSR(nn, d.adj, d.vals, d.reqLevel, par.Workers(nn))
 	}
 	return d
 }
@@ -233,25 +319,35 @@ func growRows(m [][]float64, nn int) [][]float64 {
 	return out
 }
 
-// adjRow rebuilds one adjacency list: the ascending non-zero out-edges.
-func adjRow(row []float64) []int32 {
-	var out []int32
+// sparseRowOf converts one dense row into its CSR form: ascending
+// non-zero columns plus values.
+func sparseRowOf(row []float64) ([]int32, []float64) {
+	var cols []int32
+	var vals []float64
 	for j, v := range row {
 		if !num.IsZero(v) {
-			out = append(out, int32(j))
+			cols = append(cols, int32(j))
+			vals = append(vals, v)
 		}
 	}
-	return out
+	return cols, vals
+}
+
+// hasEdge reports whether S[x][u] is stored (non-zero).
+func (c *Closure) hasEdge(x, u int) bool {
+	cols := c.adj[x]
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(u) })
+	return k < len(cols) && cols[k] == int32(u)
 }
 
 // affected returns, ascending, the rows whose chain enumeration can
 // mention an edge out of src: src itself plus every row within reverse
-// distance level-1 of src. The scan walks predecessors by column lookup
-// (s[x][u] != 0) so no reverse adjacency index needs maintaining; the
-// cost is O(level · n · frontier), bounded by O(n²) — negligible next to
-// the recompute it prunes.
+// distance level-1 of src. The scan walks predecessors by a per-row
+// binary search for the target column (S holds no reverse index); the
+// cost is O(level · n · log deg · frontier) — negligible next to the
+// recompute it prunes.
 func (c *Closure) affected(src int) []int {
-	n := len(c.s)
+	n := c.n
 	depth := c.Level() - 1
 	seen := make([]bool, n)
 	seen[src] = true
@@ -261,7 +357,7 @@ func (c *Closure) affected(src int) []int {
 		var next []int
 		for _, u := range frontier {
 			for x := 0; x < n; x++ {
-				if !seen[x] && !num.IsZero(c.s[x][u]) {
+				if !seen[x] && c.hasEdge(x, u) {
 					seen[x] = true
 					next = append(next, x)
 					out = append(out, x)
@@ -285,7 +381,7 @@ func (d *Closure) checkBudget(rows []int) error {
 	if d.approx || d.budget <= 0 {
 		return nil
 	}
-	n := len(d.s)
+	n := d.n
 	if blastDenominator*len(rows) > n {
 		rows = make([]int, n)
 		for i := range rows {
@@ -328,18 +424,18 @@ func (d *Closure) checkBudget(rows []int) error {
 	return nil
 }
 
-// recompute refreshes the given rows of d.t against d.s, comparing each
-// against prev's row: only rows that actually changed are replaced (and
-// reported), so unchanged rows keep sharing memory with prev. Past the
-// blast-radius threshold it abandons the delta and recomputes the whole
-// matrix with the parallel full kernels.
+// recompute refreshes the given rows of d.t against d's agreement rows,
+// comparing each against prev's row: only rows that actually changed are
+// replaced (and reported), so unchanged rows keep sharing memory with
+// prev. Past the blast-radius threshold it abandons the delta and
+// recomputes the whole matrix with the parallel full kernels.
 func (d *Closure) recompute(prev *Closure, rows []int) []int {
-	n := len(d.s)
+	n := d.n
 	if blastDenominator*len(rows) > n {
 		if d.approx {
-			d.t = approxWorkers(d.s, d.reqLevel, par.Workers(n))
+			d.t = approxWorkersCSR(n, d.adj, d.vals, d.reqLevel, par.Workers(n))
 		} else {
-			d.t = exactWorkers(d.s, d.reqLevel, par.Workers(n))
+			d.t = exactWorkersCSR(n, d.adj, d.vals, d.reqLevel, par.Workers(n))
 		}
 		var changed []int
 		for i := 0; i < n; i++ {
@@ -352,7 +448,6 @@ func (d *Closure) recompute(prev *Closure, rows []int) []int {
 		return changed
 	}
 	maxLen := d.Level()
-	dense := 2*d.edges >= n*n
 	var p, nx []float64 // approx row scratch, reused across rows
 	var changed []int
 	for _, src := range rows {
@@ -364,7 +459,7 @@ func (d *Closure) recompute(prev *Closure, rows []int) []int {
 			}
 			d.approxRow(src, fresh, p, nx)
 		} else {
-			exactRow(d.s, d.adj, src, maxLen, fresh, dense)
+			exactRowCSR(n, d.adj, d.vals, src, maxLen, fresh)
 		}
 		if rowsEqual(prev.t[src], fresh) {
 			continue
@@ -382,8 +477,13 @@ func (d *Closure) recompute(prev *Closure, rows []int) []int {
 // add order exactly, which is what makes the result bit-identical to the
 // full recompute.
 func (d *Closure) approxRow(src int, sum, p, nx []float64) {
-	n := len(d.s)
-	copy(p, d.s[src])
+	n := d.n
+	for j := 0; j < n; j++ {
+		p[j] = 0
+	}
+	for k, j := range d.adj[src] {
+		p[j] = d.vals[src][k]
+	}
 	for j := 0; j < n; j++ {
 		sum[j] = 0
 	}
@@ -400,9 +500,9 @@ func (d *Closure) approxRow(src int, sum, p, nx []float64) {
 			if num.IsZero(aik) {
 				continue
 			}
-			bk := d.s[kk]
-			for j := 0; j < n; j++ {
-				nx[j] += aik * bk[j]
+			cols, vs := d.adj[kk], d.vals[kk]
+			for idx, j := range cols {
+				nx[j] += aik * vs[idx]
 			}
 		}
 		p, nx = nx, p

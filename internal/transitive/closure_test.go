@@ -287,7 +287,7 @@ func TestClosureBudget(t *testing.T) {
 	if err != nil {
 		t.Fatalf("unbounded update: %v", err)
 	}
-	want := NewClosure(d.s, n-1, false)
+	want := NewClosure(d.DenseS(), n-1, false)
 	requireBitEqual(t, d.T(), want.T(), "post-budget-lift closure")
 
 	// A sparse graph with a generous budget must not trip.

@@ -76,35 +76,82 @@ func exactWorkers(s [][]float64, maxLen, workers int) [][]float64 {
 	n := len(s)
 	maxLen = clampLevel(maxLen, n)
 	t := zeros(n)
-	adj, edges := adjacency(s)
+	adj, vals, edges := adjacency(s)
 	// On dense graphs a straight 0..n-1 scan with a zero test beats the
 	// adjacency indirection; on sparse graphs the edge lists skip the
 	// zeros entirely. Either scan visits the same non-zero edges in the
 	// same ascending order, so the choice never changes the result.
 	dense := 2*edges >= n*n
 	par.Do(n, workers, func(src int) {
-		exactRow(s, adj, src, maxLen, t[src], dense)
+		exactRow(s, adj, vals, src, maxLen, t[src], dense)
 	})
 	return t
 }
 
-// adjacency returns, per node, the ascending list of non-zero out-edges,
-// plus the total edge count. The DFS iterates lists in index order,
-// matching the dense j-loop order of the definition (zero entries
-// contribute nothing).
-func adjacency(s [][]float64) (adj [][]int32, edges int) {
+// ExactCSR is Exact over a CSR agreement matrix: adj holds each row's
+// ascending non-zero column indices and vals the matching values. The
+// sparse kernels visit the same non-zero edges in the same ascending
+// order as the dense scan, so the result is bit-identical to
+// Exact(dense(adj, vals), maxLen). Rows may be nil (no out-edges).
+// Diagonal or negative entries panic, mirroring Validate.
+func ExactCSR(n int, adj [][]int32, vals [][]float64, maxLen int) [][]float64 {
+	return exactWorkersCSR(n, adj, vals, maxLen, par.Workers(n))
+}
+
+func exactWorkersCSR(n int, adj [][]int32, vals [][]float64, maxLen, workers int) [][]float64 {
+	if err := validateCSR(n, adj, vals); err != nil {
+		panic(err)
+	}
+	maxLen = clampLevel(maxLen, n)
+	t := zeros(n)
+	par.Do(n, workers, func(src int) {
+		exactRowCSR(n, adj, vals, src, maxLen, t[src])
+	})
+	return t
+}
+
+// validateCSR is Validate for CSR rows: square shape is implied, so only
+// the zero diagonal and non-negative entries need checking.
+func validateCSR(n int, adj [][]int32, vals [][]float64) error {
+	if len(adj) != n || len(vals) != n {
+		return fmt.Errorf("transitive: CSR has %d/%d rows, want %d", len(adj), len(vals), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(adj[i]) != len(vals[i]) {
+			return fmt.Errorf("transitive: CSR row %d has %d cols but %d vals", i, len(adj[i]), len(vals[i]))
+		}
+		for k, j := range adj[i] {
+			if int(j) == i && !num.IsZero(vals[i][k]) {
+				return fmt.Errorf("transitive: S[%d][%d] = %g, diagonal must be zero", i, i, vals[i][k])
+			}
+			if vals[i][k] < 0 {
+				return fmt.Errorf("transitive: S[%d][%d] = %g, entries must be non-negative", i, j, vals[i][k])
+			}
+		}
+	}
+	return nil
+}
+
+// adjacency returns, per node, the ascending list of non-zero out-edges
+// with the matching edge values, plus the total edge count. The DFS
+// iterates lists in index order, matching the dense j-loop order of the
+// definition (zero entries contribute nothing).
+func adjacency(s [][]float64) (adj [][]int32, vals [][]float64, edges int) {
 	adj = make([][]int32, len(s))
+	vals = make([][]float64, len(s))
 	for i, row := range s {
 		var out []int32
+		var ov []float64
 		for j, v := range row {
 			if !num.IsZero(v) {
 				out = append(out, int32(j))
+				ov = append(ov, v)
 			}
 		}
-		adj[i] = out
+		adj[i], vals[i] = out, ov
 		edges += len(out)
 	}
-	return adj, edges
+	return adj, vals, edges
 }
 
 // exactRow enumerates every cycle-free chain out of src, accumulating the
@@ -115,14 +162,23 @@ func adjacency(s [][]float64) (adj [][]int32, edges int) {
 // goroutine stack) and a bool slice above that. Visit order — and
 // therefore floating-point summation order — is identical to the
 // recursive formulation's.
-func exactRow(s [][]float64, adj [][]int32, src, maxLen int, row []float64, dense bool) {
+func exactRow(s [][]float64, adj [][]int32, vals [][]float64, src, maxLen int, row []float64, dense bool) {
 	switch {
 	case len(s) > 64:
-		exactRowBig(s, adj, src, maxLen, row)
+		exactRowBig(len(s), adj, vals, src, maxLen, row)
 	case dense:
 		exactRowDense64(s, src, maxLen, row)
 	default:
-		exactRowSparse64(s, adj, src, maxLen, row)
+		exactRowSparse64(adj, vals, src, maxLen, row)
+	}
+}
+
+// exactRowCSR dispatches the sparse kernels when no dense matrix exists.
+func exactRowCSR(n int, adj [][]int32, vals [][]float64, src, maxLen int, row []float64) {
+	if n > 64 {
+		exactRowBig(n, adj, vals, src, maxLen, row)
+	} else {
+		exactRowSparse64(adj, vals, src, maxLen, row)
 	}
 }
 
@@ -169,8 +225,10 @@ outer:
 }
 
 // exactRowSparse64 is the n <= 64 bitmask variant walking adjacency
-// lists, skipping zero edges entirely.
-func exactRowSparse64(s [][]float64, adj [][]int32, src, maxLen int, row []float64) {
+// lists, skipping zero edges entirely. Edge values come from the vals
+// lists aligned with adj — the same floats a dense row lookup would
+// read, multiplied in the same order.
+func exactRowSparse64(adj [][]int32, vals [][]float64, src, maxLen int, row []float64) {
 	var (
 		nodeStk [64]int32
 		idxStk  [64]int32
@@ -179,23 +237,24 @@ func exactRowSparse64(s [][]float64, adj [][]int32, src, maxLen int, row []float
 	node, idx, product, depth := int32(src), int32(0), 1.0, 0
 	visited := uint64(1) << src
 	edges := adj[node]
-	srow := s[node]
+	vrow := vals[node]
 outer:
 	for {
 		if depth < maxLen {
 			for int(idx) < len(edges) {
 				next := edges[idx]
+				v := vrow[idx]
 				idx++
 				if visited&(1<<next) != 0 {
 					continue
 				}
-				p := product * srow[next]
+				p := product * v
 				row[next] += p
 				visited |= 1 << next
 				nodeStk[depth], idxStk[depth], prodStk[depth] = node, idx, product
 				depth++
 				node, idx, product = next, 0, p
-				edges, srow = adj[node], s[node]
+				edges, vrow = adj[node], vals[node]
 				continue outer
 			}
 		}
@@ -205,14 +264,13 @@ outer:
 		visited &^= 1 << node
 		depth--
 		node, idx, product = nodeStk[depth], idxStk[depth], prodStk[depth]
-		edges, srow = adj[node], s[node]
+		edges, vrow = adj[node], vals[node]
 	}
 }
 
 // exactRowBig is the bool-slice fallback for n > 64 (adjacency walk; a
 // dense graph that large is out of Exact's reach anyway).
-func exactRowBig(s [][]float64, adj [][]int32, src, maxLen int, row []float64) {
-	n := len(s)
+func exactRowBig(n int, adj [][]int32, vals [][]float64, src, maxLen int, row []float64) {
 	nodeStk := make([]int32, maxLen+1)
 	idxStk := make([]int32, maxLen+1)
 	prodStk := make([]float64, maxLen+1)
@@ -220,23 +278,24 @@ func exactRowBig(s [][]float64, adj [][]int32, src, maxLen int, row []float64) {
 	node, idx, product, depth := int32(src), int32(0), 1.0, 0
 	visited[src] = true
 	edges := adj[node]
-	srow := s[node]
+	vrow := vals[node]
 outer:
 	for {
 		if depth < maxLen {
 			for int(idx) < len(edges) {
 				next := edges[idx]
+				v := vrow[idx]
 				idx++
 				if visited[next] {
 					continue
 				}
-				p := product * srow[next]
+				p := product * v
 				row[next] += p
 				visited[next] = true
 				nodeStk[depth], idxStk[depth], prodStk[depth] = node, idx, product
 				depth++
 				node, idx, product = next, 0, p
-				edges, srow = adj[node], s[node]
+				edges, vrow = adj[node], vals[node]
 				continue outer
 			}
 		}
@@ -246,7 +305,7 @@ outer:
 		visited[node] = false
 		depth--
 		node, idx, product = nodeStk[depth], idxStk[depth], prodStk[depth]
-		edges, srow = adj[node], s[node]
+		edges, vrow = adj[node], vals[node]
 	}
 }
 
@@ -280,6 +339,58 @@ func approxWorkers(s [][]float64, maxLen, workers int) [][]float64 {
 		add(sum, power)
 	}
 	return sum
+}
+
+// ApproxCSR is Approx over a CSR agreement matrix. Skipping a zero
+// column of S in the multiply drops only exact `+= aik·0` terms, so the
+// result is bit-identical to Approx on the dense export.
+func ApproxCSR(n int, adj [][]int32, vals [][]float64, maxLen int) [][]float64 {
+	return approxWorkersCSR(n, adj, vals, maxLen, par.Workers(n))
+}
+
+func approxWorkersCSR(n int, adj [][]int32, vals [][]float64, maxLen, workers int) [][]float64 {
+	if err := validateCSR(n, adj, vals); err != nil {
+		panic(err)
+	}
+	maxLen = clampLevel(maxLen, n)
+	sum := zeros(n)
+	power := zeros(n)
+	for i := 0; i < n; i++ {
+		for k, j := range adj[i] {
+			power[i][j] = vals[i][k]
+		}
+	}
+	add(sum, power)
+	next := zeros(n) // double buffer: matmul reads power, writes next
+	for k := 2; k <= maxLen; k++ {
+		matmulIntoCSR(next, power, adj, vals, workers)
+		power, next = next, power
+		add(sum, power)
+	}
+	return sum
+}
+
+// matmulIntoCSR computes out = a·S with S in CSR form, replicating
+// matmulInto's per-row operation order (ascending k, ascending j over
+// the non-zero columns). out must not alias a.
+func matmulIntoCSR(out, a [][]float64, badj [][]int32, bvals [][]float64, workers int) {
+	n := len(a)
+	par.Do(n, workers, func(i int) {
+		row := out[i]
+		for j := range row {
+			row[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if num.IsZero(aik) {
+				continue
+			}
+			cols, vs := badj[k], bvals[k]
+			for idx, j := range cols {
+				row[j] += aik * vs[idx]
+			}
+		}
+	})
 }
 
 // Cap applies the overdraft rule of Section 3.2: K_ij = min(T_ij, 1). The
@@ -408,6 +519,51 @@ func WithinBudget(s [][]float64, maxLen int, budget int) bool {
 			}
 			visited[next] = true
 			ok := dfs(next, depth+1)
+			visited[next] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for src := 0; src < n; src++ {
+		visited[src] = true
+		ok := dfs(src, 0)
+		visited[src] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WithinBudgetCSR is WithinBudget over CSR rows (ascending columns with
+// aligned values): the same counting DFS, visiting the same nonzero
+// edges in the same order as the dense scan.
+func WithinBudgetCSR(n int, adj [][]int32, vals [][]float64, maxLen int, budget int) bool {
+	if err := validateCSR(n, adj, vals); err != nil {
+		panic(err)
+	}
+	maxLen = clampLevel(maxLen, n)
+	visited := make([]bool, n)
+	steps := 0
+
+	var dfs func(cur, depth int) bool
+	dfs = func(cur, depth int) bool {
+		if depth == maxLen {
+			return true
+		}
+		row, vrow := adj[cur], vals[cur]
+		for x, next := range row {
+			if visited[next] || num.IsZero(vrow[x]) {
+				continue
+			}
+			steps++
+			if steps > budget {
+				return false
+			}
+			visited[next] = true
+			ok := dfs(int(next), depth+1)
 			visited[next] = false
 			if !ok {
 				return false
